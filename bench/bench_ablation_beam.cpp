@@ -1,0 +1,46 @@
+// Ablation (Anchors hyperparameters): beam width of the iterative
+// explanation construction.
+//
+// Width 1 degenerates to greedy best-first construction; wider beams keep
+// more candidate feature sets alive per level at proportionally more model
+// queries. The paper uses the Anchors default; this bench shows where the
+// accuracy/cost tradeoff flattens.
+#include "bench/bench_common.h"
+#include "cost/crude_model.h"
+
+using namespace comet;
+
+int main() {
+  const std::size_t n_blocks = bench::scaled(40);
+  bench::print_header("Ablation: beam width, C_HSW",
+                      "blocks=" + std::to_string(n_blocks));
+
+  const auto& dataset = core::zoo_dataset();
+  const auto test_set =
+      bhive::explanation_test_set(dataset, n_blocks, /*seed=*/74);
+  const cost::CrudeModel model(cost::MicroArch::Haswell);
+
+  util::Table table({"beam width", "COMET acc (%)", "avg model queries"});
+  for (const std::size_t width : {1u, 2u, 4u, 8u}) {
+    core::CometOptions opt = bench::crude_options();
+    opt.beam_width = width;
+    const auto r =
+        core::run_accuracy_experiment(model, test_set, opt, /*seed=*/3);
+
+    const core::CometExplainer explainer(model, opt);
+    double queries = 0;
+    for (const auto& lb : test_set.blocks()) {
+      queries += double(explainer.explain(lb.block).model_queries);
+    }
+    table.add_row({std::to_string(width), util::Table::fmt(r.comet_pct, 1),
+                   util::Table::fmt(queries / double(test_set.size()), 0)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "Expected: for C's single-bottleneck ground truth a narrow beam "
+      "already\nfinds the anchor, at a fraction of the queries; wider beams "
+      "surface more\nthreshold-clearing candidates whose higher coverage can "
+      "pull in features\noutside GT. Real (non-analytical) models are where "
+      "the wider default pays.\n");
+  return 0;
+}

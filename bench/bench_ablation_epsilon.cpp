@@ -1,0 +1,53 @@
+// Ablation (paper Appendix E, final paragraph): sensitivity to the ε-ball
+// radius that defines "the prediction did not change".
+//
+// The paper sets ε = Δ/4 = 0.25 for the crude model C (its smallest
+// prediction step) and 0.5 cycles for real models. Too-small ε rejects
+// benign perturbation noise and forces over-large explanations; too-large ε
+// accepts everything and produces under-specified ones. The bench sweeps ε
+// for C_HSW and reports accuracy plus how often the threshold was met with
+// a singleton explanation.
+#include "bench/bench_common.h"
+#include "cost/crude_model.h"
+
+using namespace comet;
+
+int main() {
+  const std::size_t n_blocks = bench::scaled(40);
+  bench::print_header("Ablation: epsilon-ball radius, C_HSW",
+                      "blocks=" + std::to_string(n_blocks) +
+                          " (paper uses eps=0.25 for C)");
+
+  const auto& dataset = core::zoo_dataset();
+  const auto test_set =
+      bhive::explanation_test_set(dataset, n_blocks, /*seed=*/73);
+  const cost::CrudeModel model(cost::MicroArch::Haswell);
+
+  util::Table table({"epsilon", "COMET acc (%)", "avg expl size",
+                     "% met threshold"});
+  for (const double eps : {0.05, 0.1, 0.25, 0.5, 1.0, 2.0}) {
+    core::CometOptions opt = bench::crude_options();
+    opt.epsilon = eps;
+    const auto r =
+        core::run_accuracy_experiment(model, test_set, opt, /*seed=*/3);
+
+    const core::CometExplainer explainer(model, opt);
+    double sum_size = 0, met = 0;
+    for (const auto& lb : test_set.blocks()) {
+      const auto e = explainer.explain(lb.block);
+      sum_size += double(e.features.size());
+      met += e.met_threshold;
+    }
+    table.add_row({util::Table::fmt(eps), util::Table::fmt(r.comet_pct, 1),
+                   util::Table::fmt(sum_size / double(test_set.size()), 2),
+                   util::Table::fmt(100.0 * met / double(test_set.size()),
+                                    1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "Expected: accuracy is flat up to the paper's eps=0.25 (= Delta/4, "
+      "the crude\nmodel's smallest prediction step — any smaller radius "
+      "distinguishes the same\npredictions) and collapses beyond it, where "
+      "genuinely cost-changing\nperturbations are accepted as 'unchanged'.\n");
+  return 0;
+}

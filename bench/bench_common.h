@@ -1,0 +1,65 @@
+// Shared scaffolding for the experiment benches. Every bench binary
+// regenerates one table or figure of the paper and prints the same
+// rows/series the paper reports, through util::Table.
+//
+// Sample budgets are scaled down from the paper's (which used ~1 minute per
+// explained block and 10k-sample coverage pools) so the full bench suite
+// runs in minutes; set COMET_BENCH_SCALE=<float> to multiply block counts
+// and sample budgets (1.0 = defaults, 4.0 ~ paper-sized test sets). Every
+// bench prints the parameters it actually used.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/comet.h"
+#include "core/eval.h"
+#include "core/model_zoo.h"
+#include "util/table.h"
+
+namespace comet::bench {
+
+inline double scale() {
+  if (const char* s = std::getenv("COMET_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+inline std::size_t scaled(std::size_t base) {
+  const double v = static_cast<double>(base) * scale();
+  return static_cast<std::size_t>(v < 1 ? 1 : v);
+}
+
+/// COMET options for explaining the crude analytical model C
+/// (ε = 0.25, the least unit of C's prediction; Appendix E).
+inline core::CometOptions crude_options() {
+  core::CometOptions opt;
+  opt.epsilon = 0.25;
+  opt.coverage_samples = scaled(800);
+  return opt;
+}
+
+/// COMET options for real cost models (ε = 0.5 cycles; Appendix E), with a
+/// lighter query budget since neural-model queries are the expensive part.
+inline core::CometOptions real_model_options() {
+  core::CometOptions opt;
+  opt.epsilon = 0.5;
+  opt.coverage_samples = scaled(600);
+  opt.batch_size = 8;
+  opt.max_pulls_per_level = 80;
+  opt.final_precision_samples = 120;
+  return opt;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& params) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", params.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace comet::bench

@@ -1,0 +1,103 @@
+// Extension: closing the paper's feedback loop (Section 7) — fine-tune the
+// neural model on COMET's perturbation distribution and re-measure both the
+// error and the explanation granularity.
+//
+// The paper observes (Figures 2-4) that lower-error models explain with
+// finer-grained features, and proposes using COMET's feedback during
+// training. Here the loop is closed mechanically: Γ({η})-perturbations of
+// training blocks are labeled by the hardware oracle and used to fine-tune
+// the warm LSTM. Each augmented pair differs from its original only in
+// instructions/dependencies, so the model is explicitly rewarded for
+// reading fine-grained features. The bench reports MAPE and the Figure-2
+// feature-type composition before and after.
+#include "bench/bench_common.h"
+#include "cost/finetune.h"
+#include "cost/ithemal_model.h"
+#include "sim/models.h"
+
+using namespace comet;
+
+namespace {
+
+struct Snapshot {
+  double mape = 0.0;
+  double pct_eta = 0.0, pct_inst = 0.0, pct_dep = 0.0;
+};
+
+/// MAPE over a wide held-out slice (stable), explanation composition over
+/// the small explanation test set (expensive).
+Snapshot measure(const cost::CostModel& model, const bhive::Dataset& holdout,
+                 const bhive::Dataset& expl_set) {
+  const auto stats = core::analyze_model(
+      model, cost::MicroArch::Haswell, expl_set,
+      bench::real_model_options(),
+      /*precision_samples=*/0, /*coverage_samples=*/0, /*seed=*/7);
+  std::vector<double> preds, acts;
+  for (const auto& lb : holdout.blocks()) {
+    preds.push_back(model.predict(lb.block));
+    acts.push_back(lb.measured(cost::MicroArch::Haswell));
+  }
+  return {util::mape(preds, acts), stats.pct_with_num_insts,
+          stats.pct_with_inst, stats.pct_with_dep};
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n_train = bench::scaled(400);
+  const std::size_t n_test = bench::scaled(25);
+  bench::print_header(
+      "Extension: explanation-guided fine-tuning of Ithemal (HSW)",
+      "finetune blocks=" + std::to_string(n_train) +
+          ", explanation test blocks=" + std::to_string(n_test) +
+          ", 2 rounds x 6 perturbations/block");
+
+  const auto& dataset = core::zoo_dataset();
+  const auto train = dataset.head(n_train);
+  // Held-out MAPE slice: blocks the fine-tuning pass never touches.
+  std::vector<bhive::LabeledBlock> holdout_blocks(
+      dataset.blocks().begin() + n_train,
+      dataset.blocks().begin() + std::min(dataset.size(), n_train + 600));
+  const bhive::Dataset holdout(std::move(holdout_blocks));
+  const auto test = bhive::explanation_test_set(dataset, n_test, /*seed=*/83);
+
+  // Warm model: the canonical cached Ithemal.
+  cost::IthemalModel model(cost::MicroArch::Haswell);
+  const auto& ds = core::zoo_dataset();
+  model.train_or_load(core::zoo_data_dir() + "/ithemal_hsw.bin",
+                      ds.block_views(),
+                      ds.label_views(cost::MicroArch::Haswell));
+
+  const Snapshot before = measure(model, holdout, test);
+
+  const sim::HardwareOracle oracle(cost::MicroArch::Haswell);
+  cost::FinetuneOptions fopt;
+  fopt.rounds = 2;
+  fopt.perturbations_per_block = 6;
+  fopt.original_replays = 6;
+  const auto result = cost::finetune_with_perturbations(
+      model, train.block_views(),
+      train.label_views(cost::MicroArch::Haswell), oracle, fopt);
+
+  const Snapshot after = measure(model, holdout, test);
+
+  util::Table table({"", "held-out MAPE (%)", "% eta", "% inst", "% dep"});
+  table.add_row({"before", util::Table::fmt(before.mape, 1),
+                 util::Table::fmt(before.pct_eta, 1),
+                 util::Table::fmt(before.pct_inst, 1),
+                 util::Table::fmt(before.pct_dep, 1)});
+  table.add_row({"after", util::Table::fmt(after.mape, 1),
+                 util::Table::fmt(after.pct_eta, 1),
+                 util::Table::fmt(after.pct_inst, 1),
+                 util::Table::fmt(after.pct_dep, 1)});
+  std::printf("%s", table.to_string().c_str());
+  std::printf("augmented samples consumed: %zu (train-set MAPE %.1f%% -> "
+              "%.1f%%)\n",
+              result.augmented_samples, result.mape_before,
+              result.mape_after);
+  std::printf(
+      "Expected: MAPE drops and the explanation mix shifts away from eta "
+      "toward\ninst/dep features — the paper's inverse correlation, induced "
+      "by training.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Extension: the framework ported to RISC-V RV64IM (paper Section 7).
+//
+// Reruns the Table 2 experiment on the ported stack: explanation accuracy
+// of the RV engine against the analytical RV cost model's exact ground
+// truth, with random and fixed baselines calibrated the same way as the
+// x86 bench. Reported with two criteria — the paper's strict one (nothing
+// outside GT) and the loose one (names a GT feature) — because the port
+// surfaces an instance-specific challenge the paper predicts: RISC-V's
+// format-based opcode replacement lets any R-type ALU op perturb into a
+// divide, so coarse anchors lose precision and COMET compensates with
+// supersets of GT.
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "riscv/cost.h"
+#include "riscv/explain.h"
+#include "riscv/generator.h"
+#include "util/rng.h"
+
+using namespace comet;
+namespace rv = comet::riscv;
+
+namespace {
+
+bool strict_accurate(const rv::RvFeatureSet& expl,
+                     const rv::RvFeatureSet& gt) {
+  if (expl.empty()) return false;
+  return std::all_of(expl.items().begin(), expl.items().end(),
+                     [&](const auto& f) { return gt.contains(f); });
+}
+bool loose_accurate(const rv::RvFeatureSet& expl, const rv::RvFeatureSet& gt) {
+  return std::any_of(expl.items().begin(), expl.items().end(),
+                     [&](const auto& f) { return gt.contains(f); });
+}
+
+/// Random baseline: one uniformly random feature of the block.
+rv::RvFeatureSet random_explanation(const rv::BasicBlock& block,
+                                    util::Rng& rng) {
+  const auto all = rv::extract_features(block);
+  rv::RvFeatureSet out;
+  out.insert(all.items()[rng.index(all.size())]);
+  return out;
+}
+
+/// Fixed baseline: always the first instruction (the most frequent GT type
+/// in this corpus is an instruction feature).
+rv::RvFeatureSet fixed_explanation(const rv::BasicBlock& block) {
+  rv::RvFeatureSet out;
+  out.insert(rv::RvFeature(
+      rv::RvInstFeature{0, block.instructions[0].opcode}));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n_blocks = bench::scaled(40);
+  bench::print_header(
+      "Extension: COMET ported to RISC-V RV64IM (Table 2 analogue)",
+      "blocks=" + std::to_string(n_blocks) +
+          ", crude RV64 model, (1-delta)=0.7, eps=0.25");
+
+  const rv::RvCostModel model;
+  rv::RvExplainOptions opts;
+  opts.coverage_samples = bench::scaled(800);
+  opts.max_pulls_per_level = 320;
+  const rv::RvExplainer explainer(model, opts);
+
+  const auto corpus = rv::generate_corpus(n_blocks, 1234);
+  util::Rng rng(7);
+
+  std::size_t rnd_ok = 0, fix_ok = 0, strict_ok = 0, loose_ok = 0;
+  for (const auto& block : corpus) {
+    const auto gt = model.ground_truth(block);
+    rnd_ok += strict_accurate(random_explanation(block, rng), gt);
+    fix_ok += strict_accurate(fixed_explanation(block), gt);
+    const auto e = explainer.explain(block);
+    strict_ok += strict_accurate(e.features, gt);
+    loose_ok += loose_accurate(e.features, gt);
+  }
+
+  const double n = double(corpus.size());
+  util::Table table({"Explanation", "Acc. (%) over C_rv64"});
+  table.add_row({"Random", util::Table::fmt(100.0 * rnd_ok / n, 1)});
+  table.add_row({"Fixed", util::Table::fmt(100.0 * fix_ok / n, 1)});
+  table.add_row({"COMET-RV (strict)", util::Table::fmt(100.0 * strict_ok / n, 1)});
+  table.add_row({"COMET-RV (names GT)", util::Table::fmt(100.0 * loose_ok / n, 1)});
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "x86 reference (Table 2): Random 26.6%%, Fixed 72.3%%, COMET 96.9%%.\n"
+      "Expected: COMET-RV beats both baselines decisively; its strict score "
+      "trails\nthe x86 engine because RISC-V's format-closed replacement "
+      "sets cross cost\nclasses (ALU <-> divide), an instance-specific "
+      "challenge Section 7 predicts.\n");
+  return 0;
+}

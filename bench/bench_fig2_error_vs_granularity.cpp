@@ -1,0 +1,52 @@
+// Figure 2: Variation of MAPE of Ithemal and uiCA alongside the percentage
+// of COMET explanations containing each feature type (η = number of
+// instructions, inst = specific instructions, δ = data dependencies), for
+// (a) Haswell and (b) Skylake.
+//
+// Paper's hypothesis and finding: the lower-error model (uiCA) depends more
+// on fine-grained features (inst, δ); the higher-error model (Ithemal)
+// depends more on the coarse-grained feature (η). Shape target:
+//   MAPE(Ithemal) > MAPE(uiCA),
+//   %η(Ithemal)  > %η(uiCA),
+//   %inst/δ(Ithemal) < %inst/δ(uiCA).
+#include "bench/bench_common.h"
+
+using namespace comet;
+
+int main() {
+  const std::size_t n_blocks = bench::scaled(50);
+  const std::size_t prec_samples = bench::scaled(100);
+  const std::size_t cov_samples = bench::scaled(400);
+  bench::print_header(
+      "Figure 2: model error vs explanation feature granularity",
+      "blocks=" + std::to_string(n_blocks) + " (paper: 200)");
+
+  const auto& dataset = core::zoo_dataset();
+  const auto test_set =
+      bhive::explanation_test_set(dataset, n_blocks, /*seed=*/99);
+
+  for (const auto uarch :
+       {cost::MicroArch::Haswell, cost::MicroArch::Skylake}) {
+    std::printf("-- Figure 2(%s): %s --\n",
+                uarch == cost::MicroArch::Haswell ? "a" : "b",
+                cost::uarch_name(uarch).c_str());
+    util::Table table(
+        {"Model", "MAPE(%)", "% expl. with eta", "% with inst", "% with dep"});
+    for (const auto kind : {core::ModelKind::Ithemal, core::ModelKind::UiCA}) {
+      const auto model = core::make_model(kind, uarch);
+      const auto stats =
+          core::analyze_model(*model, uarch, test_set,
+                              bench::real_model_options(), prec_samples,
+                              cov_samples, /*seed=*/1);
+      table.add_row({model->name(), util::Table::fmt(stats.mape, 1),
+                     util::Table::fmt(stats.pct_with_num_insts, 1),
+                     util::Table::fmt(stats.pct_with_inst, 1),
+                     util::Table::fmt(stats.pct_with_dep, 1)});
+    }
+    std::printf("%s", table.to_string().c_str());
+  }
+  std::printf(
+      "Shape target: Ithemal has higher MAPE and more eta-explanations;\n"
+      "uiCA has lower MAPE and more inst/dep-explanations.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 3: the error-vs-granularity analysis of Figure 2 restricted to
+// BHive partitions by *source*: (a) Clang, (b) OpenBLAS (paper: 100 unique
+// blocks per source; Haswell models).
+#include "bench/bench_common.h"
+
+using namespace comet;
+
+int main() {
+  const std::size_t n_blocks = bench::scaled(40);
+  bench::print_header(
+      "Figure 3: error vs granularity, partitioned by BHive source",
+      "blocks_per_source=" + std::to_string(n_blocks) + " (paper: 100), HSW");
+
+  const auto& dataset = core::zoo_dataset();
+  const auto uarch = cost::MicroArch::Haswell;
+
+  int panel = 0;
+  for (const auto source :
+       {bhive::BlockSource::Clang, bhive::BlockSource::OpenBLAS}) {
+    util::Rng rng(31 + panel);
+    const auto test_set = dataset.by_source(source).sample(n_blocks, rng);
+    std::printf("-- Figure 3(%c): %s (%zu blocks) --\n", 'a' + panel,
+                bhive::source_name(source).c_str(), test_set.size());
+    util::Table table(
+        {"Model", "MAPE(%)", "% expl. with eta", "% with inst", "% with dep"});
+    for (const auto kind : {core::ModelKind::Ithemal, core::ModelKind::UiCA}) {
+      const auto model = core::make_model(kind, uarch);
+      const auto stats = core::analyze_model(
+          *model, uarch, test_set, bench::real_model_options(),
+          bench::scaled(100), bench::scaled(400), /*seed=*/1);
+      table.add_row({model->name(), util::Table::fmt(stats.mape, 1),
+                     util::Table::fmt(stats.pct_with_num_insts, 1),
+                     util::Table::fmt(stats.pct_with_inst, 1),
+                     util::Table::fmt(stats.pct_with_dep, 1)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    ++panel;
+  }
+  std::printf("Shape target (both sources): same ordering as Figure 2.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 4: the error-vs-granularity analysis partitioned by BHive block
+// *category*: Load, Load/Store, Store, Scalar, Vector, Scalar/Vector
+// (paper: 50 unique blocks per category; Haswell models).
+//
+// The paper's additional observation: for categories where the two models'
+// errors are close (Store), the feature-type composition of their
+// explanations is also similar.
+#include "bench/bench_common.h"
+
+using namespace comet;
+
+int main() {
+  const std::size_t n_blocks = bench::scaled(20);
+  bench::print_header(
+      "Figure 4: error vs granularity, partitioned by BHive category",
+      "blocks_per_category<=" + std::to_string(n_blocks) +
+          " (paper: 50), HSW");
+
+  const auto& dataset = core::zoo_dataset();
+  const auto uarch = cost::MicroArch::Haswell;
+
+  const bhive::BlockCategory categories[] = {
+      bhive::BlockCategory::Load,        bhive::BlockCategory::LoadStore,
+      bhive::BlockCategory::Store,       bhive::BlockCategory::Scalar,
+      bhive::BlockCategory::Vector,      bhive::BlockCategory::ScalarVector,
+  };
+  int panel = 0;
+  for (const auto category : categories) {
+    util::Rng rng(47 + panel);
+    const auto pool = dataset.by_category(category);
+    const auto test_set = pool.sample(n_blocks, rng);
+    std::printf("-- Figure 4(%c): %s (%zu blocks available, %zu used) --\n",
+                'a' + panel, bhive::category_name(category).c_str(),
+                pool.size(), test_set.size());
+    if (test_set.empty()) {
+      std::printf("  (no blocks of this category in the dataset sample)\n");
+      ++panel;
+      continue;
+    }
+    util::Table table(
+        {"Model", "MAPE(%)", "% expl. with eta", "% with inst", "% with dep"});
+    for (const auto kind : {core::ModelKind::Ithemal, core::ModelKind::UiCA}) {
+      const auto model = core::make_model(kind, uarch);
+      const auto stats = core::analyze_model(
+          *model, uarch, test_set, bench::real_model_options(),
+          bench::scaled(80), bench::scaled(300), /*seed=*/1);
+      table.add_row({model->name(), util::Table::fmt(stats.mape, 1),
+                     util::Table::fmt(stats.pct_with_num_insts, 1),
+                     util::Table::fmt(stats.pct_with_inst, 1),
+                     util::Table::fmt(stats.pct_with_dep, 1)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    ++panel;
+  }
+  return 0;
+}

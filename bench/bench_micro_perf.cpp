@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark): throughput of the individual
+// components that determine COMET's per-explanation wall-clock — parsing,
+// dependency-graph construction, the perturbation algorithm Γ, the
+// simulators, the crude model, LSTM inference, and an end-to-end explain().
+#include <benchmark/benchmark.h>
+
+#include "bhive/paper_blocks.h"
+#include "core/comet.h"
+#include "cost/crude_model.h"
+#include "cost/granite_model.h"
+#include "graph/depgraph.h"
+#include "perturb/perturber.h"
+#include "riscv/explain.h"
+#include "riscv/generator.h"
+#include "sim/bottleneck.h"
+#include "sim/models.h"
+#include "x86/parser.h"
+
+using namespace comet;
+
+namespace {
+
+const char* kBlockText = R"(
+  mov ecx, edx
+  xor edx, edx
+  lea rax, [rcx + rax - 1]
+  div rcx
+  mov rdx, rcx
+  imul rax, rcx
+)";
+
+void BM_ParseBlock(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x86::parse_block(kBlockText));
+  }
+}
+BENCHMARK(BM_ParseBlock);
+
+void BM_DepGraphBuild(benchmark::State& state) {
+  const auto block = bhive::listing3_case_study2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::DepGraph::build(block));
+  }
+}
+BENCHMARK(BM_DepGraphBuild);
+
+void BM_ExtractFeatures(benchmark::State& state) {
+  const auto block = bhive::listing3_case_study2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::extract_features(block));
+  }
+}
+BENCHMARK(BM_ExtractFeatures);
+
+void BM_PerturberSample(benchmark::State& state) {
+  const perturb::Perturber perturber(bhive::listing3_case_study2());
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perturber.sample(graph::FeatureSet{}, rng));
+  }
+}
+BENCHMARK(BM_PerturberSample);
+
+void BM_CrudeModelPredict(benchmark::State& state) {
+  const cost::CrudeModel model(cost::MicroArch::Haswell);
+  const auto block = bhive::listing3_case_study2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(block));
+  }
+}
+BENCHMARK(BM_CrudeModelPredict);
+
+void BM_OracleSimulate(benchmark::State& state) {
+  const sim::HardwareOracle oracle(cost::MicroArch::Haswell);
+  const auto block = bhive::listing3_case_study2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.predict(block));
+  }
+}
+BENCHMARK(BM_OracleSimulate);
+
+void BM_UiCASimulate(benchmark::State& state) {
+  const sim::UiCASimModel uica(cost::MicroArch::Haswell);
+  const auto block = bhive::listing3_case_study2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uica.predict(block));
+  }
+}
+BENCHMARK(BM_UiCASimulate);
+
+void BM_ExplainCrude(benchmark::State& state) {
+  const cost::CrudeModel model(cost::MicroArch::Haswell);
+  core::CometOptions opt;
+  opt.epsilon = 0.25;
+  opt.coverage_samples = 300;
+  const core::CometExplainer explainer(model, opt);
+  const auto block = bhive::listing3_case_study2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explainer.explain(block));
+  }
+}
+BENCHMARK(BM_ExplainCrude)->Unit(benchmark::kMillisecond);
+
+void BM_GranitePredict(benchmark::State& state) {
+  const cost::GraniteModel model(cost::MicroArch::Haswell);
+  const auto block = bhive::listing3_case_study2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(block));
+  }
+}
+BENCHMARK(BM_GranitePredict);
+
+void BM_BottleneckAnalysis(benchmark::State& state) {
+  const auto block = bhive::listing3_case_study2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::analyze_bottleneck(block, cost::MicroArch::Haswell));
+  }
+}
+BENCHMARK(BM_BottleneckAnalysis);
+
+void BM_RiscvPerturb(benchmark::State& state) {
+  util::Rng gen(42);
+  const auto block = riscv::generate_block(gen);
+  const riscv::RvPerturber perturber(block);
+  util::Rng rng(43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perturber.sample({}, rng));
+  }
+}
+BENCHMARK(BM_RiscvPerturb);
+
+void BM_RiscvExplain(benchmark::State& state) {
+  const riscv::RvCostModel model;
+  riscv::RvExplainOptions opt;
+  opt.coverage_samples = 300;
+  const riscv::RvExplainer explainer(model, opt);
+  util::Rng gen(44);
+  const auto block = riscv::generate_block(gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explainer.explain(block));
+  }
+}
+BENCHMARK(BM_RiscvExplain)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Table 2: Accuracy of COMET's explanations over the crude interpretable
+// cost model C, for Haswell and Skylake, against the random and fixed
+// explanation baselines. Paper reference values:
+//
+//   Random  26.56 +- 20.30 (HSW)   26.60 +- 20.34 (SKL)
+//   Fixed   72.33              74.0
+//   COMET   96.90 +- 0.92     98.00 +- 0.80
+//
+// Shape target: Random << Fixed << COMET, with COMET far ahead.
+#include "bench/bench_common.h"
+#include "cost/crude_model.h"
+
+using namespace comet;
+
+int main() {
+  const std::size_t n_blocks = bench::scaled(120);
+  const int n_seeds = 3;
+  bench::print_header(
+      "Table 2: accuracy of COMET's explanations over crude model C",
+      "blocks=" + std::to_string(n_blocks) + " seeds(paper:5,blocks:200)=" +
+          std::to_string(n_seeds) + " (1-delta)=0.7 eps=0.25");
+
+  const auto& dataset = core::zoo_dataset();
+  const auto test_set =
+      bhive::explanation_test_set(dataset, n_blocks, /*seed=*/99);
+
+  util::Table table({"Explanation", "Acc.(%) over C_HSW", "Acc.(%) over C_SKL"});
+  std::vector<double> random_acc[2], fixed_acc[2], comet_acc[2];
+  for (int u = 0; u < 2; ++u) {
+    const auto uarch =
+        u == 0 ? cost::MicroArch::Haswell : cost::MicroArch::Skylake;
+    const cost::CrudeModel model(uarch);
+    for (int seed = 1; seed <= n_seeds; ++seed) {
+      const auto r = core::run_accuracy_experiment(
+          model, test_set, bench::crude_options(), seed);
+      random_acc[u].push_back(r.random_pct);
+      fixed_acc[u].push_back(r.fixed_pct);
+      comet_acc[u].push_back(r.comet_pct);
+      std::printf("  [seed %d %s] random=%.1f fixed=%.1f comet=%.1f\n", seed,
+                  cost::uarch_name(uarch).c_str(), r.random_pct, r.fixed_pct,
+                  r.comet_pct);
+    }
+  }
+
+  const auto row = [&](const char* name, std::vector<double>* acc,
+                       bool with_std) {
+    const auto h = core::summarize(acc[0]);
+    const auto s = core::summarize(acc[1]);
+    table.add_row({name,
+                   with_std ? util::Table::fmt_pm(h.mean, h.std)
+                            : util::Table::fmt(h.mean),
+                   with_std ? util::Table::fmt_pm(s.mean, s.std)
+                            : util::Table::fmt(s.mean)});
+  };
+  row("Random", random_acc, true);
+  row("Fixed", fixed_acc, false);
+  row("COMET", comet_acc, true);
+  std::printf("%s", table.to_string().c_str());
+  std::printf("Paper: Random 26.6+-20.3 | Fixed 72.3/74.0 | COMET 96.9/98.0\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Table 3: Average precision and coverage of COMET's explanations for the
+// neural model Ithemal (I) and the simulation-based model uiCA (U), on
+// Haswell and Skylake. Paper reference values:
+//
+//   I (HSW)  prec 0.79 +- 0.005   cov 0.19 +- 0.007
+//   I (SKL)  prec 0.81 +- 0.004   cov 0.19 +- 0.014
+//   U (HSW)  prec 0.78 +- 0.006   cov 0.18 +- 0.012
+//   U (SKL)  prec 0.79 +- 0.006   cov 0.18 +- 0.012
+//
+// Shape target: both models' explanations have precision well above the 0.7
+// threshold and coverage in the ~0.2 range.
+#include "bench/bench_common.h"
+
+using namespace comet;
+
+int main() {
+  const std::size_t n_blocks = bench::scaled(50);
+  const int n_seeds = 3;
+  const std::size_t prec_samples = bench::scaled(150);
+  const std::size_t cov_samples = bench::scaled(800);
+  bench::print_header(
+      "Table 3: average precision and coverage (Ithemal, uiCA)",
+      "blocks=" + std::to_string(n_blocks) + " seeds=" +
+          std::to_string(n_seeds) + " prec_samples=" +
+          std::to_string(prec_samples) + " cov_samples=" +
+          std::to_string(cov_samples) + " (paper: 200 blocks, 10k)");
+
+  const auto& dataset = core::zoo_dataset();
+  const auto test_set =
+      bhive::explanation_test_set(dataset, n_blocks, /*seed=*/99);
+
+  util::Table table({"Model", "Av. Precision", "Av. Coverage"});
+  const struct {
+    core::ModelKind kind;
+    cost::MicroArch uarch;
+    const char* label;
+  } configs[] = {
+      {core::ModelKind::Ithemal, cost::MicroArch::Haswell, "I (HSW)"},
+      {core::ModelKind::Ithemal, cost::MicroArch::Skylake, "I (SKL)"},
+      {core::ModelKind::UiCA, cost::MicroArch::Haswell, "U (HSW)"},
+      {core::ModelKind::UiCA, cost::MicroArch::Skylake, "U (SKL)"},
+  };
+  for (const auto& cfg : configs) {
+    const auto model = core::make_model(cfg.kind, cfg.uarch);
+    std::vector<double> precs, covs;
+    for (int seed = 1; seed <= n_seeds; ++seed) {
+      const auto stats = core::analyze_model(
+          *model, cfg.uarch, test_set, bench::real_model_options(),
+          prec_samples, cov_samples, static_cast<std::uint64_t>(seed));
+      precs.push_back(stats.avg_precision);
+      covs.push_back(stats.avg_coverage);
+    }
+    const auto p = core::summarize(precs);
+    const auto c = core::summarize(covs);
+    table.add_row({cfg.label, util::Table::fmt_pm(p.mean, p.std, 3),
+                   util::Table::fmt_pm(c.mean, c.std, 3)});
+    std::printf("  finished %s\n", cfg.label);
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "Paper: precision 0.78-0.81 for all four, coverage 0.18-0.19\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Case-study walkthrough (paper Section 6.4): compare what different cost
+// models — the trained Ithemal surrogate, the uiCA-style simulator, the
+// MCA-style static model, and the crude analytical model — predict for the
+// paper's case-study blocks, and what COMET says each model is looking at.
+//
+// First run trains the Ithemal surrogate (~1 minute) and caches the weights
+// under data/.
+//
+//   $ ./build/examples/case_studies
+#include <cstdio>
+
+#include "bhive/paper_blocks.h"
+#include "core/comet.h"
+#include "core/model_zoo.h"
+#include "sim/models.h"
+#include "util/table.h"
+
+int main() {
+  using namespace comet;
+  const auto uarch = cost::MicroArch::Haswell;
+
+  const struct {
+    const char* title;
+    x86::BasicBlock block;
+  } cases[] = {
+      {"Case study 1 (Listing 2): store-bound block",
+       bhive::listing2_case_study1()},
+      {"Case study 2 (Listing 3): div + dependencies",
+       bhive::listing3_case_study2()},
+  };
+
+  for (const auto& c : cases) {
+    std::printf("=== %s ===\n%s", c.title, c.block.to_string().c_str());
+    std::printf("hardware-equivalent throughput: %.2f cycles\n\n",
+                sim::measured_throughput(c.block, uarch));
+
+    util::Table table({"Model", "Prediction", "COMET explanation", "prec"});
+    for (const auto kind :
+         {core::ModelKind::Ithemal, core::ModelKind::UiCA,
+          core::ModelKind::Mca, core::ModelKind::Crude}) {
+      const auto model = core::make_model(kind, uarch);
+      core::CometOptions opt;
+      opt.epsilon = kind == core::ModelKind::Crude ? 0.25 : 0.5;
+      opt.coverage_samples = 500;
+      const core::CometExplainer explainer(*model, opt);
+      const auto expl = explainer.explain(c.block);
+      table.add_row({model->name(),
+                     util::Table::fmt(model->predict(c.block)),
+                     expl.features.to_string(),
+                     util::Table::fmt(expl.precision, 2)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  std::printf(
+      "Reading the tables: an accurate simulator's explanation names the\n"
+      "specific bottleneck (the div instruction / the RAW dependencies that\n"
+      "pin it), while coarser models are explained by coarser features.\n");
+  return 0;
+}

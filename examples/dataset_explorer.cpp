@@ -1,0 +1,65 @@
+// Explore the synthetic BHive-like dataset: category/source composition,
+// throughput distribution per microarchitecture, and a few fully worked
+// sample blocks with their dependency graphs and per-model predictions.
+//
+//   $ ./build/examples/dataset_explorer
+#include <cstdio>
+
+#include "core/model_zoo.h"
+#include "graph/depgraph.h"
+#include "sim/models.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace comet;
+  const auto& dataset = core::zoo_dataset();
+  std::printf("Dataset: %zu blocks\n\n", dataset.size());
+
+  // Category x source composition.
+  util::Table comp({"Category", "Clang", "OpenBLAS", "total"});
+  const bhive::BlockCategory cats[] = {
+      bhive::BlockCategory::Load,   bhive::BlockCategory::Store,
+      bhive::BlockCategory::LoadStore, bhive::BlockCategory::Scalar,
+      bhive::BlockCategory::Vector, bhive::BlockCategory::ScalarVector,
+  };
+  for (const auto cat : cats) {
+    const auto all = dataset.by_category(cat);
+    const auto clang = all.by_source(bhive::BlockSource::Clang);
+    comp.add_row({bhive::category_name(cat), std::to_string(clang.size()),
+                  std::to_string(all.size() - clang.size()),
+                  std::to_string(all.size())});
+  }
+  std::printf("%s\n", comp.to_string().c_str());
+
+  // Throughput distribution.
+  for (const auto uarch :
+       {cost::MicroArch::Haswell, cost::MicroArch::Skylake}) {
+    const auto labels = dataset.label_views(uarch);
+    std::vector<double> xs(labels.begin(), labels.end());
+    std::printf(
+        "%s throughput (cycles): mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f\n",
+        cost::uarch_name(uarch).c_str(), util::mean(xs),
+        util::percentile(xs, 50), util::percentile(xs, 90),
+        util::percentile(xs, 99));
+  }
+
+  // A few worked samples.
+  std::printf("\n--- sample blocks ---\n");
+  util::Rng rng(3);
+  const auto sample = dataset.sample(3, rng);
+  const sim::HardwareOracle oracle(cost::MicroArch::Haswell);
+  const sim::UiCASimModel uica(cost::MicroArch::Haswell);
+  for (const auto& lb : sample.blocks()) {
+    std::printf("\n[%s / %s]\n%s",
+                bhive::source_name(lb.source).c_str(),
+                bhive::category_name(lb.category).c_str(),
+                lb.block.to_string().c_str());
+    const auto g = graph::DepGraph::build(lb.block);
+    std::printf("deps:\n%s", g.to_string().c_str());
+    std::printf("measured %.2f | oracle %.2f | uica %.2f cycles\n",
+                lb.measured_hsw, oracle.predict(lb.block),
+                uica.predict(lb.block));
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// explain_cli: explain any basic block with any model, from the command
+// line — the tool a performance engineer would actually reach for.
+//
+//   $ ./build/examples/explain_cli [model] [uarch] [file.s]
+//
+//     model : crude | uica | oracle | mca | ithemal | granite   (default crude)
+//     uarch : hsw | skl                                         (default hsw)
+//     file.s: Intel-syntax basic block, one instruction per line;
+//             read from stdin when omitted or "-".
+//
+//   $ echo 'add rcx, rax
+//           mov rdx, rcx
+//           pop rbx' | ./build/examples/explain_cli uica hsw
+//
+// Neural models train on first use and cache their weights under data/,
+// so the first ithemal/granite invocation takes a few minutes.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/comet.h"
+#include "core/model_zoo.h"
+#include "x86/parser.h"
+
+using namespace comet;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [crude|uica|oracle|mca|ithemal|granite] [hsw|skl] "
+               "[block.s|-]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_name = argc > 1 ? argv[1] : "crude";
+  std::string uarch_name = argc > 2 ? argv[2] : "hsw";
+  std::string path = argc > 3 ? argv[3] : "-";
+
+  core::ModelKind kind;
+  if (model_name == "crude") {
+    kind = core::ModelKind::Crude;
+  } else if (model_name == "uica") {
+    kind = core::ModelKind::UiCA;
+  } else if (model_name == "oracle") {
+    kind = core::ModelKind::Oracle;
+  } else if (model_name == "mca") {
+    kind = core::ModelKind::Mca;
+  } else if (model_name == "ithemal") {
+    kind = core::ModelKind::Ithemal;
+  } else if (model_name == "granite") {
+    kind = core::ModelKind::Granite;
+  } else {
+    return usage(argv[0]);
+  }
+  cost::MicroArch uarch;
+  if (uarch_name == "hsw") {
+    uarch = cost::MicroArch::Haswell;
+  } else if (uarch_name == "skl") {
+    uarch = cost::MicroArch::Skylake;
+  } else {
+    return usage(argv[0]);
+  }
+
+  std::string text;
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    std::FILE* fp = std::fopen(path.c_str(), "rb");
+    if (fp == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, fp)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(fp);
+  }
+
+  x86::BasicBlock block;
+  try {
+    block = x86::parse_block(text);
+  } catch (const x86::ParseError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  }
+  if (block.empty()) {
+    std::fprintf(stderr, "empty block\n");
+    return 1;
+  }
+
+  const auto model = core::make_model(kind, uarch);
+  const double prediction = model->predict(block);
+
+  core::CometOptions opts;
+  opts.epsilon = kind == core::ModelKind::Crude ? 0.25 : 0.5;
+  const core::CometExplainer explainer(*model, opts);
+  const auto e = explainer.explain(block);
+
+  std::printf("block (%zu instructions):\n%s\n", block.size(),
+              block.to_string().c_str());
+  std::printf("%s predicts: %.2f cycles/iteration\n", model->name().c_str(),
+              prediction);
+  std::printf("explanation:  %s\n", e.features.to_string().c_str());
+  std::printf("  precision=%.2f coverage=%.2f threshold %s (%zu queries)\n",
+              e.precision, e.coverage, e.met_threshold ? "met" : "NOT met",
+              e.model_queries);
+  return 0;
+}

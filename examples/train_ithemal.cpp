@@ -1,0 +1,51 @@
+// Train the Ithemal surrogate from scratch and evaluate it.
+//
+// Generates the synthetic BHive-like dataset, trains the hierarchical LSTM
+// for both microarchitectures (caching weights under data/), and reports
+// train/held-out MAPE next to the simulation-based models — reproducing the
+// accuracy landscape the paper's analysis starts from.
+//
+//   $ ./build/examples/train_ithemal            # train or load from cache
+//   $ COMET_DATA_DIR=/tmp/fresh ./build/examples/train_ithemal  # retrain
+#include <cstdio>
+
+#include "bhive/dataset.h"
+#include "core/model_zoo.h"
+#include "sim/models.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace comet;
+
+  std::printf("Dataset: %zu blocks (training), generating held-out set...\n",
+              core::zoo_dataset().size());
+  bhive::DatasetOptions heldout_opt;
+  heldout_opt.size = 400;
+  heldout_opt.seed = 777;  // disjoint from the training seed
+  const auto heldout = bhive::generate_dataset(heldout_opt);
+
+  util::Table table({"Model", "held-out MAPE(%)"});
+  for (const auto uarch :
+       {cost::MicroArch::Haswell, cost::MicroArch::Skylake}) {
+    for (const auto kind : {core::ModelKind::Ithemal, core::ModelKind::UiCA,
+                            core::ModelKind::Mca}) {
+      const auto model = core::make_model(kind, uarch);
+      std::vector<double> preds, acts;
+      for (const auto& lb : heldout.blocks()) {
+        preds.push_back(model->predict(lb.block));
+        acts.push_back(lb.measured(uarch));
+      }
+      table.add_row({model->name(),
+                     util::Table::fmt(util::mape(preds, acts), 1)});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nExpected landscape: the uiCA-style simulator is within a few percent\n"
+      "of the hardware labels; the laptop-scale LSTM is an order of magnitude\n"
+      "less accurate (the paper's Ithemal sits at ~9%% with full-scale\n"
+      "training); the static MCA-style model underestimates latency-bound\n"
+      "blocks.\n");
+  return 0;
+}

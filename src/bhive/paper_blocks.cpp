@@ -1,0 +1,63 @@
+#include "bhive/paper_blocks.h"
+
+#include "x86/parser.h"
+
+namespace comet::bhive {
+
+x86::BasicBlock listing1_motivating() {
+  return x86::parse_block(R"(
+    add rcx, rax
+    mov rdx, rcx
+    pop rbx
+  )");
+}
+
+x86::BasicBlock listing2_case_study1() {
+  return x86::parse_block(R"(
+    lea rdx, [rax + 1]
+    mov qword ptr [rdi + 24], rdx
+    mov byte ptr [rax], 80
+    mov rsi, qword ptr [r14 + 32]
+    mov rdi, rbp
+  )");
+}
+
+x86::BasicBlock listing3_case_study2() {
+  return x86::parse_block(R"(
+    mov ecx, edx
+    xor edx, edx
+    lea rax, [rcx + rax - 1]
+    div rcx
+    mov rdx, rcx
+    imul rax, rcx
+  )");
+}
+
+x86::BasicBlock listing4_appendixF_beta1() {
+  return x86::parse_block(R"(
+    vdivss xmm0, xmm0, xmm6
+    vmulss xmm7, xmm0, xmm0
+    vxorps xmm0, xmm0, xmm5
+    vaddss xmm7, xmm7, xmm3
+    vmulss xmm6, xmm6, xmm7
+    vdivss xmm6, xmm3, xmm6
+    vmulss xmm0, xmm6, xmm0
+  )");
+}
+
+x86::BasicBlock listing5_appendixF_beta2() {
+  return x86::parse_block(R"(
+    shl eax, 3
+    imul rax, r15
+    xor edx, edx
+    add rax, 7
+    shr rax, 3
+    lea rax, [rbp + rax - 1]
+    div rbp
+    imul rax, rbp
+    mov rbp, qword ptr [rsp + 8]
+    sub rbp, rax
+  )");
+}
+
+}  // namespace comet::bhive

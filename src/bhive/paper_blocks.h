@@ -1,0 +1,25 @@
+// The basic blocks printed in the paper, embedded verbatim, so the case
+// studies (Section 6.4) and the perturbation-space estimates (Appendix F)
+// run on exactly the published inputs.
+#pragma once
+
+#include "x86/instruction.h"
+
+namespace comet::bhive {
+
+/// Listing 1(a): motivating example (Section 3).
+x86::BasicBlock listing1_motivating();
+
+/// Listing 2: case study 1 (store-bound block).
+x86::BasicBlock listing2_case_study1();
+
+/// Listing 3: case study 2 (div + dependency-heavy block).
+x86::BasicBlock listing3_case_study2();
+
+/// Listing 4: Appendix F block β1 (AVX scalar chain).
+x86::BasicBlock listing4_appendixF_beta1();
+
+/// Listing 5: Appendix F block β2 (scalar integer with div).
+x86::BasicBlock listing5_appendixF_beta2();
+
+}  // namespace comet::bhive

@@ -1,0 +1,88 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace comet::core {
+
+namespace {
+
+std::vector<graph::Feature> features_of_type(const x86::BasicBlock& block,
+                                             graph::FeatureType type,
+                                             const graph::DepGraphOptions& g) {
+  std::vector<graph::Feature> out;
+  const graph::FeatureSet all = graph::extract_features(block, g);
+  for (const auto& f : all.items()) {
+    if (f.type() == type) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace
+
+void FeatureTypeFrequencies::add(const graph::FeatureSet& gt) {
+  for (const auto& f : gt.items()) {
+    counts[static_cast<std::size_t>(f.type())] += 1.0;
+  }
+}
+
+double FeatureTypeFrequencies::total() const {
+  return counts[0] + counts[1] + counts[2];
+}
+
+graph::FeatureType FeatureTypeFrequencies::most_frequent() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[best]) best = i;
+  }
+  return static_cast<graph::FeatureType>(best);
+}
+
+RandomBaseline::RandomBaseline(FeatureTypeFrequencies freqs,
+                               std::uint64_t seed)
+    : freqs_(freqs), rng_(seed) {}
+
+graph::FeatureSet RandomBaseline::explain(const x86::BasicBlock& block,
+                                          const graph::DepGraphOptions& gopt) {
+  const double total = freqs_.total();
+  graph::FeatureSet out;
+  if (total <= 0.0) return out;
+  // Draw a type from the ground-truth type distribution; if the block has
+  // no feature of that type, retry (bounded).
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    double roll = rng_.uniform(0.0, total);
+    std::size_t type_idx = 0;
+    for (; type_idx < 2; ++type_idx) {
+      roll -= freqs_.counts[type_idx];
+      if (roll <= 0) break;
+    }
+    const auto candidates = features_of_type(
+        block, static_cast<graph::FeatureType>(type_idx), gopt);
+    if (candidates.empty()) continue;
+    out.insert(rng_.pick(candidates));
+    return out;
+  }
+  // Fallback: uniformly random feature.
+  const auto all = graph::extract_features(block, gopt);
+  if (!all.empty()) out.insert(rng_.pick(all.items()));
+  return out;
+}
+
+FixedBaseline::FixedBaseline(FeatureTypeFrequencies freqs)
+    : fixed_type_(freqs.most_frequent()) {}
+
+graph::FeatureSet FixedBaseline::explain(
+    const x86::BasicBlock& block, const graph::DepGraphOptions& gopt) const {
+  graph::FeatureSet out;
+  auto candidates = features_of_type(block, fixed_type_, gopt);
+  if (candidates.empty()) {
+    // Degenerate block: fall back to η, which always exists.
+    out.insert(graph::Feature(graph::NumInstsFeature{block.size()}));
+    return out;
+  }
+  std::sort(candidates.begin(), candidates.end());
+  out.insert(candidates.front());
+  return out;
+}
+
+}  // namespace comet::core

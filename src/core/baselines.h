@@ -1,0 +1,55 @@
+// The paper's baseline explanation algorithms (Section 6): random and
+// fixed. Both are calibrated on the distribution of ground-truth
+// explanations over the explanation test set, exactly as described:
+//
+//  * Random baseline — emits one feature of β, whose *type* is drawn with
+//    probability proportional to the frequency of that feature type across
+//    all ground-truth explanations of the test set.
+//  * Fixed baseline — always emits the first feature (in canonical block
+//    order) of the single most frequent ground-truth feature type.
+#pragma once
+
+#include <array>
+
+#include "graph/features.h"
+#include "util/rng.h"
+#include "x86/instruction.h"
+
+namespace comet::core {
+
+/// Frequencies of feature types across a collection of ground-truth
+/// explanation sets.
+struct FeatureTypeFrequencies {
+  std::array<double, 3> counts{};  // indexed by graph::FeatureType
+
+  void add(const graph::FeatureSet& gt);
+  double total() const;
+  graph::FeatureType most_frequent() const;
+};
+
+class RandomBaseline {
+ public:
+  RandomBaseline(FeatureTypeFrequencies freqs, std::uint64_t seed);
+
+  /// One random single-feature explanation for `block`.
+  graph::FeatureSet explain(const x86::BasicBlock& block,
+                            const graph::DepGraphOptions& gopt = {});
+
+ private:
+  FeatureTypeFrequencies freqs_;
+  util::Rng rng_;
+};
+
+class FixedBaseline {
+ public:
+  explicit FixedBaseline(FeatureTypeFrequencies freqs);
+
+  /// The deterministic fixed explanation for `block`.
+  graph::FeatureSet explain(const x86::BasicBlock& block,
+                            const graph::DepGraphOptions& gopt = {}) const;
+
+ private:
+  graph::FeatureType fixed_type_;
+};
+
+}  // namespace comet::core

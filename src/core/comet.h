@@ -1,0 +1,89 @@
+// COMET: the cost-model explanation engine (paper Section 5.2).
+//
+// Given query access to a cost model M and a target basic block β, COMET
+// solves the relaxed optimization problem (eq. 7):
+//
+//   F* = argmax_{F ⊆ P̂} Cov(F)   s.t.   Prec(F) ≥ 1 − δ
+//
+// where Prec(F) = Pr_{α ~ D_F}[ |M(α) − M(β)| ≤ ε ]  and
+//       Cov(F)  = Pr_{α ~ D}[ F ⊆ P̂(α) ].
+//
+// Following Anchors (Ribeiro et al. 2018), the search proceeds bottom-up
+// with a beam over feature sets; at each level the top-B candidates by
+// precision are identified with the KL-LUCB best-arm procedure (Kaufmann &
+// Kalyanakrishnan 2013), which adaptively allocates the model-query budget
+// to the arms whose confidence intervals actually matter. Candidates whose
+// precision *lower confidence bound* clears 1 − δ are valid anchors; among
+// valid anchors the maximum-coverage one is returned. Coverage is estimated
+// against a shared pool of unconstrained perturbations of β.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/explanation.h"
+#include "cost/cost_model.h"
+#include "perturb/perturber.h"
+
+namespace comet::core {
+
+struct CometOptions {
+  /// ε-ball radius around M(β) (paper Appendix E: 0.5 cycles for real cost
+  /// models, ∆/4 = 0.25 for the crude model C).
+  double epsilon = 0.5;
+  /// Precision threshold is (1 − delta); the paper uses 0.7.
+  double delta = 0.3;
+
+  // -- KL-LUCB / beam-search hyperparameters (Anchors defaults) --
+  /// Use the adaptive KL-LUCB best-arm procedure to allocate the per-level
+  /// pull budget (design decision 4 in DESIGN.md). When false, the same
+  /// budget is spent uniformly round-robin across candidate arms — the
+  /// baseline the ablation bench compares against.
+  bool use_kl_lucb = true;
+  double lucb_confidence_delta = 0.1;  ///< bandit failure probability
+  double lucb_epsilon = 0.15;          ///< UB/LB separation tolerance
+  std::size_t batch_size = 12;         ///< perturbations per arm pull
+  std::size_t beam_width = 4;
+  std::size_t max_explanation_size = 3;
+  std::size_t max_pulls_per_level = 160;  ///< arm pulls per beam level
+
+  /// Samples drawn from D (=Γ(∅)) for coverage estimation. The paper uses
+  /// 10k; benches scale this down and report the value used.
+  std::size_t coverage_samples = 2000;
+  /// Extra samples to firm up the precision estimate of the final answer.
+  std::size_t final_precision_samples = 200;
+
+  std::uint64_t seed = 1;
+  graph::DepGraphOptions graph_options;
+  perturb::PerturbConfig perturb_config;
+};
+
+class CometExplainer {
+ public:
+  /// `model` must outlive the explainer.
+  CometExplainer(const cost::CostModel& model, CometOptions options = {});
+
+  /// Explain M(β) for the given block.
+  Explanation explain(const x86::BasicBlock& block) const;
+
+  /// Standalone Monte-Carlo estimate of Prec(F) for a given feature set
+  /// (used by the Table 3 evaluation). Consumes `samples` model queries.
+  double estimate_precision(const x86::BasicBlock& block,
+                            const graph::FeatureSet& features,
+                            std::size_t samples, util::Rng& rng) const;
+
+  /// Standalone estimate of Cov(F) over `samples` unconstrained
+  /// perturbations.
+  double estimate_coverage(const x86::BasicBlock& block,
+                           const graph::FeatureSet& features,
+                           std::size_t samples, util::Rng& rng) const;
+
+  const CometOptions& options() const { return options_; }
+  const cost::CostModel& model() const { return model_; }
+
+ private:
+  const cost::CostModel& model_;
+  CometOptions options_;
+};
+
+}  // namespace comet::core

@@ -1,0 +1,108 @@
+#include "core/eval.h"
+
+#include "util/stats.h"
+
+namespace comet::core {
+
+bool explanation_accurate(const graph::FeatureSet& explanation,
+                          const graph::FeatureSet& ground_truth) {
+  if (explanation.empty()) return false;
+  bool any = false;
+  for (const auto& f : explanation.items()) {
+    if (!ground_truth.contains(f)) return false;
+    any = true;
+  }
+  return any;
+}
+
+AccuracyResult run_accuracy_experiment(const cost::CrudeModel& model,
+                                       const bhive::Dataset& test_set,
+                                       const CometOptions& options,
+                                       std::uint64_t seed) {
+  // Calibrate the baselines on the ground-truth type distribution of the
+  // test set (paper Section 6).
+  FeatureTypeFrequencies freqs;
+  std::vector<graph::FeatureSet> gts;
+  gts.reserve(test_set.size());
+  for (const auto& lb : test_set.blocks()) {
+    gts.push_back(model.ground_truth(lb.block));
+    freqs.add(gts.back());
+  }
+
+  RandomBaseline random_baseline(freqs, seed ^ 0xAB);
+  const FixedBaseline fixed_baseline(freqs);
+
+  CometOptions opt = options;
+  opt.seed = seed;
+  const CometExplainer comet(model, opt);
+
+  std::size_t random_ok = 0, fixed_ok = 0, comet_ok = 0;
+  for (std::size_t i = 0; i < test_set.size(); ++i) {
+    const auto& block = test_set[i].block;
+    const auto& gt = gts[i];
+    random_ok += explanation_accurate(
+        random_baseline.explain(block, options.graph_options), gt);
+    fixed_ok += explanation_accurate(
+        fixed_baseline.explain(block, options.graph_options), gt);
+    comet_ok += explanation_accurate(comet.explain(block).features, gt);
+  }
+  const double n = static_cast<double>(test_set.size());
+  return AccuracyResult{100.0 * random_ok / n, 100.0 * fixed_ok / n,
+                        100.0 * comet_ok / n};
+}
+
+ModelExplanationStats analyze_model(const cost::CostModel& model,
+                                    cost::MicroArch uarch,
+                                    const bhive::Dataset& test_set,
+                                    const CometOptions& options,
+                                    std::size_t precision_samples,
+                                    std::size_t coverage_samples,
+                                    std::uint64_t seed) {
+  CometOptions opt = options;
+  opt.seed = seed;
+  const CometExplainer explainer(model, opt);
+  util::Rng rng(seed ^ 0xF00D);
+
+  ModelExplanationStats stats;
+  std::vector<double> precisions, coverages, preds, actuals;
+  std::size_t with_eta = 0, with_inst = 0, with_dep = 0;
+
+  for (const auto& lb : test_set.blocks()) {
+    const auto expl = explainer.explain(lb.block);
+    // Independent precision/coverage estimates (not the search's own
+    // optimistic statistics).
+    precisions.push_back(explainer.estimate_precision(
+        lb.block, expl.features, precision_samples, rng));
+    coverages.push_back(explainer.estimate_coverage(
+        lb.block, expl.features, coverage_samples, rng));
+
+    bool eta = false, inst = false, dep = false;
+    for (const auto& f : expl.features.items()) {
+      eta |= f.is_num_insts();
+      inst |= f.is_inst();
+      dep |= f.is_dep();
+    }
+    with_eta += eta;
+    with_inst += inst;
+    with_dep += dep;
+
+    preds.push_back(model.predict(lb.block));
+    actuals.push_back(lb.measured(uarch));
+  }
+
+  const double n = static_cast<double>(test_set.size());
+  stats.blocks = test_set.size();
+  stats.avg_precision = util::mean(precisions);
+  stats.avg_coverage = util::mean(coverages);
+  stats.mape = util::mape(preds, actuals);
+  stats.pct_with_num_insts = 100.0 * with_eta / n;
+  stats.pct_with_inst = 100.0 * with_inst / n;
+  stats.pct_with_dep = 100.0 * with_dep / n;
+  return stats;
+}
+
+MeanStd summarize(const std::vector<double>& values) {
+  return MeanStd{util::mean(values), util::stddev(values)};
+}
+
+}  // namespace comet::core

@@ -1,0 +1,63 @@
+// Evaluation harness shared by the benches: explanation-accuracy scoring
+// against the crude model's ground truth (Table 2, Figures 5-8), average
+// precision/coverage reporting (Table 3), and the error-vs-explanation-
+// granularity analysis (Figures 2-4).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "bhive/dataset.h"
+#include "core/baselines.h"
+#include "core/comet.h"
+#include "cost/crude_model.h"
+
+namespace comet::core {
+
+/// Paper's accuracy criterion: an explanation is accurate for C(β) iff it
+/// names at least one ground-truth feature and nothing outside GT(β).
+bool explanation_accurate(const graph::FeatureSet& explanation,
+                          const graph::FeatureSet& ground_truth);
+
+/// Accuracy (%) of COMET and the two baselines over the crude model on a
+/// test set, for one seed.
+struct AccuracyResult {
+  double random_pct = 0.0;
+  double fixed_pct = 0.0;
+  double comet_pct = 0.0;
+};
+
+AccuracyResult run_accuracy_experiment(const cost::CrudeModel& model,
+                                       const bhive::Dataset& test_set,
+                                       const CometOptions& options,
+                                       std::uint64_t seed);
+
+/// Per-model precision/coverage summary (Table 3) plus explanation
+/// feature-type composition and MAPE (Figures 2-4).
+struct ModelExplanationStats {
+  double avg_precision = 0.0;
+  double avg_coverage = 0.0;
+  double mape = 0.0;  ///< vs. "measured" (oracle+noise) throughput
+  /// % of explanations containing a feature of each type.
+  double pct_with_num_insts = 0.0;
+  double pct_with_inst = 0.0;
+  double pct_with_dep = 0.0;
+  std::size_t blocks = 0;
+};
+
+ModelExplanationStats analyze_model(const cost::CostModel& model,
+                                    cost::MicroArch uarch,
+                                    const bhive::Dataset& test_set,
+                                    const CometOptions& options,
+                                    std::size_t precision_samples,
+                                    std::size_t coverage_samples,
+                                    std::uint64_t seed);
+
+/// Mean ± sample-std over per-seed values.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd summarize(const std::vector<double>& values);
+
+}  // namespace comet::core

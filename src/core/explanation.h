@@ -1,0 +1,27 @@
+// The output type of COMET: an explanation of one cost-model prediction.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/features.h"
+
+namespace comet::core {
+
+/// A COMET explanation for M(β): the maximum-coverage feature set whose
+/// precision clears the (1-δ) threshold, plus the estimates that justified
+/// its selection.
+struct Explanation {
+  graph::FeatureSet features;
+  double precision = 0.0;   ///< estimated Prec(F) (eq. 4)
+  double coverage = 0.0;    ///< estimated Cov(F) (eq. 6)
+  bool met_threshold = false;  ///< precision lower bound cleared 1-δ
+  std::size_t model_queries = 0;  ///< cost-model evaluations consumed
+
+  std::string to_string() const {
+    return features.to_string() + " (prec=" + std::to_string(precision) +
+           ", cov=" + std::to_string(coverage) + ")";
+  }
+};
+
+}  // namespace comet::core

@@ -1,0 +1,31 @@
+// Shared model/dataset construction for benches, examples, and tests: one
+// canonical synthetic-BHive dataset and one canonical instance of each cost
+// model per microarchitecture. The Ithemal surrogate is trained once per
+// µarch and cached under the data directory (COMET_DATA_DIR env var, default
+// "data/"), so every binary after the first reuses the weights.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bhive/dataset.h"
+#include "cost/cost_model.h"
+
+namespace comet::core {
+
+/// The canonical dataset (3000 blocks, seed 2024, 4-10 instructions,
+/// half Clang-profile / half OpenBLAS-profile). Built once per process.
+const bhive::Dataset& zoo_dataset();
+
+/// Where model weights are cached (COMET_DATA_DIR or "data").
+std::string zoo_data_dir();
+
+enum class ModelKind { Ithemal, Granite, UiCA, Oracle, Mca, Crude };
+
+/// Construct (or load) a cost model. Ithemal is trained on zoo_dataset()
+/// labels the first time and cached to disk afterwards; all other models
+/// are cheap to construct.
+std::shared_ptr<cost::CostModel> make_model(ModelKind kind,
+                                            cost::MicroArch uarch);
+
+}  // namespace comet::core

@@ -1,0 +1,36 @@
+// The cost-model abstraction COMET explains.
+//
+// A cost model M maps valid basic blocks of an ISA to real-valued costs
+// (here: steady-state loop throughput in cycles per iteration, the quantity
+// Ithemal and uiCA predict). COMET assumes nothing beyond query access to
+// predict(): every model in this repository — the crude analytical model C,
+// the pipeline simulators, and the trained LSTM — sits behind this one
+// interface, mirroring the paper's model-agnostic design.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "x86/instruction.h"
+
+namespace comet::cost {
+
+/// Target microarchitectures studied in the paper.
+enum class MicroArch : std::uint8_t { Haswell, Skylake };
+
+std::string uarch_name(MicroArch uarch);
+
+/// Query-access cost model interface.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Predicted cost (throughput, cycles per steady-state loop iteration)
+  /// of executing `block` on this model's microarchitecture.
+  virtual double predict(const x86::BasicBlock& block) const = 0;
+
+  /// Human-readable model name ("ithemal", "uica", "crude", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace comet::cost

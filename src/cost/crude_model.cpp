@@ -1,0 +1,80 @@
+#include "cost/crude_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cost/throughput_table.h"
+
+namespace comet::cost {
+
+namespace {
+constexpr double kTieTolerance = 1e-9;
+}
+
+std::string uarch_name(MicroArch uarch) {
+  switch (uarch) {
+    case MicroArch::Haswell: return "HSW";
+    case MicroArch::Skylake: return "SKL";
+  }
+  return "?";
+}
+
+CrudeModel::CrudeModel(MicroArch uarch, graph::DepGraphOptions graph_options)
+    : uarch_(uarch), graph_options_(graph_options) {}
+
+std::string CrudeModel::name() const {
+  return "crude-" + uarch_name(uarch_);
+}
+
+double CrudeModel::cost_num_insts(std::size_t n) const {
+  return static_cast<double>(n) / 4.0;
+}
+
+double CrudeModel::cost_inst(const x86::Instruction& inst) const {
+  return inst_throughput(inst, uarch_);
+}
+
+double CrudeModel::cost_dep(const x86::BasicBlock& block,
+                            const graph::DepEdge& edge) const {
+  // WAR/WAW are false dependencies removable by register renaming; only the
+  // true (RAW) dependency serializes the pair (Appendix G, eq. 10).
+  if (edge.kind != graph::DepKind::RAW) return 0.0;
+  return cost_inst(block.instructions[edge.from]) +
+         cost_inst(block.instructions[edge.to]);
+}
+
+double CrudeModel::predict(const x86::BasicBlock& block) const {
+  double best = cost_num_insts(block.size());
+  for (const auto& inst : block.instructions) {
+    best = std::max(best, cost_inst(inst));
+  }
+  const auto g = graph::DepGraph::build(block, graph_options_);
+  for (const auto& e : g.edges()) {
+    best = std::max(best, cost_dep(block, e));
+  }
+  return best;
+}
+
+graph::FeatureSet CrudeModel::ground_truth(
+    const x86::BasicBlock& block) const {
+  const double c = predict(block);
+  graph::FeatureSet gt;
+  if (std::abs(cost_num_insts(block.size()) - c) < kTieTolerance) {
+    gt.insert(graph::Feature(graph::NumInstsFeature{block.size()}));
+  }
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    if (std::abs(cost_inst(block.instructions[i]) - c) < kTieTolerance) {
+      gt.insert(graph::Feature(
+          graph::InstFeature{i, block.instructions[i].opcode}));
+    }
+  }
+  const auto g = graph::DepGraph::build(block, graph_options_);
+  for (const auto& e : g.edges()) {
+    if (std::abs(cost_dep(block, e) - c) < kTieTolerance) {
+      gt.insert(graph::Feature(graph::DepFeature{e.from, e.to, e.kind}));
+    }
+  }
+  return gt;
+}
+
+}  // namespace comet::cost

@@ -1,0 +1,278 @@
+#include "cost/ithemal_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace comet::cost {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xC03E7001;
+
+int width_code(std::uint16_t bits) {
+  switch (bits) {
+    case 8: return 0;
+    case 16: return 1;
+    case 32: return 2;
+    case 64: return 3;
+    case 128: return 4;
+    case 256: return 5;
+    default: return 3;
+  }
+}
+constexpr int kWidthCodes = 6;
+}  // namespace
+
+BlockTokenizer::BlockTokenizer() {
+  const std::size_t n_ops = x86::kNumOpcodes;
+  const std::size_t n_regs =
+      static_cast<std::size_t>(x86::RegFamily::kCount) * kWidthCodes;
+  imm_token_ = static_cast<int>(n_ops + n_regs);
+  mem_open_token_ = imm_token_ + 1;
+  mem_close_token_ = imm_token_ + 2;
+  vocab_size_ = n_ops + n_regs + 3;
+}
+
+std::vector<std::vector<int>> BlockTokenizer::tokenize(
+    const x86::BasicBlock& block) const {
+  const auto reg_token = [&](const x86::Reg& r) {
+    return static_cast<int>(x86::kNumOpcodes) +
+           static_cast<int>(r.family) * kWidthCodes + width_code(r.width_bits);
+  };
+  std::vector<std::vector<int>> out;
+  out.reserve(block.size());
+  for (const auto& inst : block.instructions) {
+    std::vector<int> toks;
+    toks.push_back(static_cast<int>(inst.opcode));
+    for (const auto& op : inst.operands) {
+      switch (op.kind()) {
+        case x86::OperandKind::Reg:
+          toks.push_back(reg_token(op.as_reg()));
+          break;
+        case x86::OperandKind::Imm:
+          toks.push_back(imm_token_);
+          break;
+        case x86::OperandKind::Mem: {
+          toks.push_back(mem_open_token_);
+          const auto& m = op.as_mem();
+          if (m.base) toks.push_back(reg_token(*m.base));
+          if (m.index) toks.push_back(reg_token(*m.index));
+          toks.push_back(mem_close_token_);
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(toks));
+  }
+  return out;
+}
+
+IthemalModel::IthemalModel(MicroArch uarch, IthemalConfig config)
+    : uarch_(uarch), config_(config) {
+  util::Rng rng(config_.seed + (uarch == MicroArch::Skylake ? 1 : 0));
+  embedding_ = nn::Mat(tokenizer_.vocab_size(), config_.embed_dim);
+  embedding_.init_xavier(rng);
+  token_lstm_ = nn::LstmCell(config_.embed_dim, config_.hidden_dim, rng);
+  block_lstm_ = nn::LstmCell(config_.hidden_dim, config_.hidden_dim, rng);
+  head_w_ = nn::Mat(1, config_.hidden_dim);
+  head_w_.init_xavier(rng);
+  head_b_ = nn::Mat(1, 1);
+  head_b_.data()[0] = 0.0f;  // log-space head: exp(0) = 1 cycle
+
+  std::vector<nn::Mat*> params{&embedding_, &head_w_, &head_b_};
+  for (auto* p : token_lstm_.params()) params.push_back(p);
+  for (auto* p : block_lstm_.params()) params.push_back(p);
+  nn::Adam::Config ac;
+  ac.lr = config_.lr;
+  adam_ = std::make_unique<nn::Adam>(std::move(params), ac);
+}
+
+struct IthemalModel::Forward {
+  std::vector<std::vector<int>> tokens;
+  std::vector<std::vector<nn::LstmStepCache>> token_caches;
+  std::vector<nn::LstmStepCache> block_caches;
+  double raw = 0.0;         // pre-exponential regressor output
+  double prediction = 0.0;  // exp(raw), cycles
+};
+
+IthemalModel::Forward IthemalModel::forward(
+    const x86::BasicBlock& block) const {
+  Forward f;
+  f.tokens = tokenizer_.tokenize(block);
+  std::vector<std::vector<float>> inst_embeds;
+  inst_embeds.reserve(f.tokens.size());
+  for (const auto& toks : f.tokens) {
+    std::vector<std::vector<float>> xs;
+    xs.reserve(toks.size());
+    for (int t : toks) {
+      const float* row = embedding_.data() + t * config_.embed_dim;
+      xs.emplace_back(row, row + config_.embed_dim);
+    }
+    f.token_caches.push_back(token_lstm_.run(xs));
+    inst_embeds.push_back(f.token_caches.back().empty()
+                              ? std::vector<float>(config_.hidden_dim, 0.f)
+                              : f.token_caches.back().back().h);
+  }
+  f.block_caches = block_lstm_.run(inst_embeds);
+  const std::vector<float> h_final =
+      f.block_caches.empty() ? std::vector<float>(config_.hidden_dim, 0.f)
+                             : f.block_caches.back().h;
+  double y = head_b_.data()[0];
+  for (std::size_t i = 0; i < config_.hidden_dim; ++i) {
+    y += head_w_.data()[i] * h_final[i];
+  }
+  // The regressor works in log-space: throughputs span two orders of
+  // magnitude (0.25 .. ~25 cycles), and a log-linear head keeps the
+  // relative-error loss well conditioned across that range.
+  f.raw = y;
+  f.prediction = std::exp(std::clamp(y, -3.0, 5.0));
+  return f;
+}
+
+double IthemalModel::predict(const x86::BasicBlock& block) const {
+  if (block.empty()) return 0.0;
+  return forward(block).prediction;
+}
+
+std::string IthemalModel::name() const {
+  return "ithemal-" + uarch_name(uarch_);
+}
+
+void IthemalModel::set_learning_rate(double lr) { adam_->set_lr(lr); }
+
+double IthemalModel::train_step(const x86::BasicBlock& block, double target) {
+  if (block.empty() || target <= 0.0) return 0.0;
+  Forward f = forward(block);
+  // Relative-error loss: L = ((y - t) / t)^2 — matches the MAPE evaluation
+  // metric and normalizes the wide dynamic range of throughputs.
+  const double rel = (f.prediction - target) / target;
+  // d/draw of ((exp(raw) - t)/t)^2 = 2*rel/t * exp(raw).
+  const double dy = 2.0 * rel / target * f.prediction;
+
+  // Head backward.
+  const std::vector<float>& h_final = f.block_caches.back().h;
+  std::vector<float> dh_final(config_.hidden_dim, 0.f);
+  for (std::size_t i = 0; i < config_.hidden_dim; ++i) {
+    head_w_.grad()[i] += static_cast<float>(dy) * h_final[i];
+    dh_final[i] = static_cast<float>(dy) * head_w_.data()[i];
+  }
+  head_b_.grad()[0] += static_cast<float>(dy);
+
+  // Block LSTM backward -> gradients of instruction embeddings.
+  const auto dinst = block_lstm_.backward_sequence(f.block_caches, dh_final);
+
+  // Token LSTMs backward -> embedding-row gradients.
+  for (std::size_t i = 0; i < f.token_caches.size(); ++i) {
+    if (f.token_caches[i].empty()) continue;
+    const auto dxs =
+        token_lstm_.backward_sequence(f.token_caches[i], dinst[i]);
+    for (std::size_t t = 0; t < dxs.size(); ++t) {
+      float* gro = embedding_.grad() + f.tokens[i][t] * config_.embed_dim;
+      for (std::size_t d = 0; d < config_.embed_dim; ++d) {
+        gro[d] += dxs[t][d];
+      }
+    }
+  }
+  adam_->step();
+  return rel * rel;
+}
+
+double IthemalModel::train(const std::vector<x86::BasicBlock>& blocks,
+                           const std::vector<double>& targets) {
+  if (blocks.size() != targets.size()) {
+    throw std::invalid_argument("IthemalModel::train: size mismatch");
+  }
+  util::Rng rng(config_.seed ^ 0x5eedULL);
+  std::vector<std::size_t> order(blocks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    // Simple linear learning-rate decay over epochs.
+    adam_->set_lr(config_.lr *
+                  (1.0 - 0.6 * static_cast<double>(epoch) /
+                             std::max<std::size_t>(1, config_.epochs)));
+    for (const std::size_t i : order) train_step(blocks[i], targets[i]);
+  }
+
+  std::vector<double> preds, acts;
+  preds.reserve(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    preds.push_back(predict(blocks[i]));
+    acts.push_back(targets[i]);
+  }
+  return util::mape(preds, acts);
+}
+
+void IthemalModel::save(const std::filesystem::path& path) const {
+  std::FILE* fp = std::fopen(path.string().c_str(), "wb");
+  if (fp == nullptr) {
+    throw std::runtime_error("IthemalModel::save: cannot open " +
+                             path.string());
+  }
+  const auto write_mat = [&](const nn::Mat& m) {
+    const std::uint64_t dims[2] = {m.rows(), m.cols()};
+    std::fwrite(dims, sizeof(dims), 1, fp);
+    std::fwrite(m.data(), sizeof(float), m.size(), fp);
+  };
+  std::fwrite(&kMagic, sizeof(kMagic), 1, fp);
+  write_mat(embedding_);
+  for (auto* p : const_cast<IthemalModel*>(this)->token_lstm_.params()) {
+    write_mat(*p);
+  }
+  for (auto* p : const_cast<IthemalModel*>(this)->block_lstm_.params()) {
+    write_mat(*p);
+  }
+  write_mat(head_w_);
+  write_mat(head_b_);
+  std::fclose(fp);
+}
+
+bool IthemalModel::load(const std::filesystem::path& path) {
+  std::FILE* fp = std::fopen(path.string().c_str(), "rb");
+  if (fp == nullptr) return false;
+  bool ok = true;
+  const auto read_mat = [&](nn::Mat& m) {
+    std::uint64_t dims[2];
+    if (std::fread(dims, sizeof(dims), 1, fp) != 1 || dims[0] != m.rows() ||
+        dims[1] != m.cols()) {
+      ok = false;
+      return;
+    }
+    if (std::fread(m.data(), sizeof(float), m.size(), fp) != m.size()) {
+      ok = false;
+    }
+  };
+  std::uint32_t magic = 0;
+  if (std::fread(&magic, sizeof(magic), 1, fp) != 1 || magic != kMagic) {
+    std::fclose(fp);
+    return false;
+  }
+  read_mat(embedding_);
+  for (auto* p : token_lstm_.params()) {
+    if (ok) read_mat(*p);
+  }
+  for (auto* p : block_lstm_.params()) {
+    if (ok) read_mat(*p);
+  }
+  if (ok) read_mat(head_w_);
+  if (ok) read_mat(head_b_);
+  std::fclose(fp);
+  return ok;
+}
+
+double IthemalModel::train_or_load(
+    const std::filesystem::path& path,
+    const std::vector<x86::BasicBlock>& blocks,
+    const std::vector<double>& targets) {
+  if (load(path)) return 0.0;
+  const double final_mape = train(blocks, targets);
+  std::filesystem::create_directories(path.parent_path());
+  save(path);
+  return final_mape;
+}
+
+}  // namespace comet::cost

@@ -1,0 +1,112 @@
+#include "diff/diff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/table.h"
+
+namespace comet::diff {
+
+namespace {
+
+FeatureTypeProfile profile_of(const std::vector<Disagreement>& top,
+                              bool side_a) {
+  FeatureTypeProfile p;
+  std::size_t n = 0;
+  for (const auto& d : top) {
+    const auto& expl = side_a ? d.expl_a : d.expl_b;
+    if (expl.features.empty()) continue;
+    ++n;
+    bool has_eta = false, has_inst = false, has_dep = false;
+    for (const auto& f : expl.features.items()) {
+      has_eta |= f.is_num_insts();
+      has_inst |= f.is_inst();
+      has_dep |= f.is_dep();
+    }
+    p.pct_num_insts += has_eta;
+    p.pct_inst += has_inst;
+    p.pct_dep += has_dep;
+  }
+  if (n > 0) {
+    p.pct_num_insts *= 100.0 / n;
+    p.pct_inst *= 100.0 / n;
+    p.pct_dep *= 100.0 / n;
+  }
+  return p;
+}
+
+}  // namespace
+
+DiffSummary analyze_disagreements(const cost::CostModel& model_a,
+                                  const cost::CostModel& model_b,
+                                  const std::vector<x86::BasicBlock>& corpus,
+                                  const DiffOptions& options) {
+  DiffSummary s;
+  s.blocks_scanned = corpus.size();
+
+  for (const auto& block : corpus) {
+    if (block.empty()) continue;
+    Disagreement d;
+    d.block = block;
+    d.pred_a = model_a.predict(block);
+    d.pred_b = model_b.predict(block);
+    const double lo = std::min(d.pred_a, d.pred_b);
+    if (lo <= 0.0) continue;
+    d.rel_gap = std::abs(d.pred_a - d.pred_b) / lo;
+    if (d.rel_gap < options.min_rel_gap) continue;
+    ++s.disagreements;
+    s.top.push_back(std::move(d));
+  }
+
+  std::stable_sort(s.top.begin(), s.top.end(),
+                   [](const Disagreement& x, const Disagreement& y) {
+                     return x.rel_gap > y.rel_gap;
+                   });
+  if (s.top.size() > options.top_k) s.top.resize(options.top_k);
+
+  if (options.explain) {
+    const core::CometExplainer ex_a(model_a, options.comet);
+    const core::CometExplainer ex_b(model_b, options.comet);
+    for (auto& d : s.top) {
+      d.expl_a = ex_a.explain(d.block);
+      d.expl_b = ex_b.explain(d.block);
+    }
+    s.profile_a = profile_of(s.top, /*side_a=*/true);
+    s.profile_b = profile_of(s.top, /*side_a=*/false);
+  }
+
+  return s;
+}
+
+std::string DiffSummary::to_string(const std::string& name_a,
+                                   const std::string& name_b) const {
+  std::string out;
+  out += "scanned " + std::to_string(blocks_scanned) + " blocks, " +
+         std::to_string(disagreements) + " disagreements, top " +
+         std::to_string(top.size()) + " explained\n";
+
+  util::Table table({"#", "gap", name_a, name_b, "expl(" + name_a + ")",
+                     "expl(" + name_b + ")"});
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    const auto& d = top[i];
+    table.add_row({std::to_string(i + 1), util::Table::fmt(d.rel_gap, 2),
+                   util::Table::fmt(d.pred_a, 2),
+                   util::Table::fmt(d.pred_b, 2),
+                   d.expl_a.features.to_string(),
+                   d.expl_b.features.to_string()});
+  }
+  out += table.to_string();
+
+  util::Table prof({"Model", "% eta", "% inst", "% dep"});
+  prof.add_row({name_a, util::Table::fmt(profile_a.pct_num_insts, 1),
+                util::Table::fmt(profile_a.pct_inst, 1),
+                util::Table::fmt(profile_a.pct_dep, 1)});
+  prof.add_row({name_b, util::Table::fmt(profile_b.pct_num_insts, 1),
+                util::Table::fmt(profile_b.pct_inst, 1),
+                util::Table::fmt(profile_b.pct_dep, 1)});
+  out += "explanation feature-type profile over disagreements:\n";
+  out += prof.to_string();
+  return out;
+}
+
+}  // namespace comet::diff

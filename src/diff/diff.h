@@ -1,0 +1,84 @@
+// Differential cost-model analysis: find where two models disagree and
+// explain both sides.
+//
+// The paper's related work cites AnICA (Ritter & Hack 2022), a differential
+// tester that surfaces inconsistencies between microarchitectural code
+// analyzers, and positions COMET as complementary: AnICA finds *where*
+// models disagree, COMET explains *why a given prediction was made*. This
+// module composes the two ideas on our substrate. Given two cost models and
+// a block corpus, it
+//
+//   1. scans the corpus for blocks with a large relative prediction gap,
+//   2. ranks the disagreements,
+//   3. runs COMET on both models for the top blocks, and
+//   4. aggregates the explanation feature-type composition per side —
+//      the same granularity lens as the paper's Figures 2-4, applied to
+//      the disagreement set instead of the whole test set.
+//
+// The per-side aggregate is the actionable output: if model A's
+// explanations on disagreement blocks are dominated by the coarse η
+// feature while model B's name specific instructions and hazards, the
+// disagreements are most likely A's coarseness (the paper's central
+// empirical finding, localized to the blocks that matter).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/comet.h"
+#include "cost/cost_model.h"
+#include "x86/instruction.h"
+
+namespace comet::diff {
+
+/// One block the two models disagree on.
+struct Disagreement {
+  x86::BasicBlock block;
+  double pred_a = 0.0;
+  double pred_b = 0.0;
+  /// |pred_a − pred_b| / min(pred_a, pred_b).
+  double rel_gap = 0.0;
+  /// COMET explanations for each side (empty features when the explain
+  /// pass is disabled).
+  core::Explanation expl_a;
+  core::Explanation expl_b;
+};
+
+/// Fraction of explanations on one side containing each feature type.
+struct FeatureTypeProfile {
+  double pct_num_insts = 0.0;
+  double pct_inst = 0.0;
+  double pct_dep = 0.0;
+};
+
+struct DiffSummary {
+  std::vector<Disagreement> top;  ///< ranked by rel_gap, descending
+  std::size_t blocks_scanned = 0;
+  std::size_t disagreements = 0;  ///< blocks with rel_gap ≥ min_rel_gap
+  FeatureTypeProfile profile_a;
+  FeatureTypeProfile profile_b;
+
+  /// Rendered report: ranked table plus the per-side profiles.
+  std::string to_string(const std::string& name_a,
+                        const std::string& name_b) const;
+};
+
+struct DiffOptions {
+  /// Disagreements below this relative gap are ignored.
+  double min_rel_gap = 0.25;
+  /// Explain at most this many top disagreements with COMET.
+  std::size_t top_k = 10;
+  /// Skip the (expensive) COMET pass; only scan and rank.
+  bool explain = true;
+  core::CometOptions comet;
+};
+
+/// Scan `corpus`, rank disagreements between `model_a` and `model_b`, and
+/// explain the top ones. Deterministic for fixed options.
+DiffSummary analyze_disagreements(const cost::CostModel& model_a,
+                                  const cost::CostModel& model_b,
+                                  const std::vector<x86::BasicBlock>& corpus,
+                                  const DiffOptions& options = {});
+
+}  // namespace comet::diff

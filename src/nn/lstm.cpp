@@ -1,0 +1,136 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+namespace comet::nn {
+
+namespace {
+inline float sigmoidf(float x) { return 1.f / (1.f + std::exp(-x)); }
+}  // namespace
+
+LstmCell::LstmCell(std::size_t input_dim, std::size_t hidden_dim,
+                   util::Rng& rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      wx_(4 * hidden_dim, input_dim),
+      wh_(4 * hidden_dim, hidden_dim),
+      b_(4 * hidden_dim, 1) {
+  wx_.init_xavier(rng);
+  wh_.init_xavier(rng);
+  // Forget-gate bias init to 1: standard trick for stable early training.
+  for (std::size_t i = hidden_dim_; i < 2 * hidden_dim_; ++i) {
+    b_.data()[i] = 1.f;
+  }
+}
+
+LstmStepCache LstmCell::forward(const std::vector<float>& x,
+                                const std::vector<float>& h_prev,
+                                const std::vector<float>& c_prev) const {
+  const std::size_t H = hidden_dim_;
+  LstmStepCache cache;
+  cache.x = x;
+  cache.h_prev = h_prev;
+  cache.c_prev = c_prev;
+
+  std::vector<float> pre(4 * H, 0.f);
+  affine(wx_, b_, x.data(), pre.data());
+  // wh * h_prev (bias already added once).
+  for (std::size_t r = 0; r < 4 * H; ++r) {
+    float acc = 0.f;
+    const float* row = wh_.data() + r * H;
+    for (std::size_t c = 0; c < H; ++c) acc += row[c] * h_prev[c];
+    pre[r] += acc;
+  }
+
+  cache.gates.resize(4 * H);
+  for (std::size_t i = 0; i < H; ++i) {
+    cache.gates[i] = sigmoidf(pre[i]);                    // input gate
+    cache.gates[H + i] = sigmoidf(pre[H + i]);            // forget gate
+    cache.gates[2 * H + i] = std::tanh(pre[2 * H + i]);   // candidate
+    cache.gates[3 * H + i] = sigmoidf(pre[3 * H + i]);    // output gate
+  }
+  cache.c.resize(H);
+  cache.tanh_c.resize(H);
+  cache.h.resize(H);
+  for (std::size_t i = 0; i < H; ++i) {
+    cache.c[i] = cache.gates[H + i] * c_prev[i] +
+                 cache.gates[i] * cache.gates[2 * H + i];
+    cache.tanh_c[i] = std::tanh(cache.c[i]);
+    cache.h[i] = cache.gates[3 * H + i] * cache.tanh_c[i];
+  }
+  return cache;
+}
+
+void LstmCell::backward(const LstmStepCache& cache,
+                        const std::vector<float>& dh,
+                        const std::vector<float>& dc_in,
+                        std::vector<float>& dx, std::vector<float>& dh_prev,
+                        std::vector<float>& dc_prev) {
+  const std::size_t H = hidden_dim_;
+  dx.assign(input_dim_, 0.f);
+  dh_prev.assign(H, 0.f);
+  dc_prev.assign(H, 0.f);
+
+  std::vector<float> dpre(4 * H, 0.f);
+  for (std::size_t i = 0; i < H; ++i) {
+    const float ig = cache.gates[i];
+    const float fg = cache.gates[H + i];
+    const float gg = cache.gates[2 * H + i];
+    const float og = cache.gates[3 * H + i];
+    const float dtanh = 1.f - cache.tanh_c[i] * cache.tanh_c[i];
+    const float dc = dc_in[i] + dh[i] * og * dtanh;
+
+    dpre[i] = dc * gg * ig * (1.f - ig);                   // d input gate
+    dpre[H + i] = dc * cache.c_prev[i] * fg * (1.f - fg);  // d forget gate
+    dpre[2 * H + i] = dc * ig * (1.f - gg * gg);           // d candidate
+    dpre[3 * H + i] =
+        dh[i] * cache.tanh_c[i] * og * (1.f - og);         // d output gate
+    dc_prev[i] = dc * fg;
+  }
+
+  affine_backward(wx_, b_, cache.x.data(), dpre.data(), dx.data());
+  // wh backward (no second bias accumulation: subtract what affine_backward
+  // just double-counted would be wrong — instead do it manually).
+  for (std::size_t r = 0; r < 4 * H; ++r) {
+    const float d = dpre[r];
+    float* grow = wh_.grad() + r * H;
+    const float* row = wh_.data() + r * H;
+    for (std::size_t c = 0; c < H; ++c) {
+      grow[c] += d * cache.h_prev[c];
+      dh_prev[c] += d * row[c];
+    }
+  }
+  // Note: b_ gradient was accumulated once in affine_backward; correct.
+}
+
+std::vector<LstmStepCache> LstmCell::run(
+    const std::vector<std::vector<float>>& xs) const {
+  std::vector<LstmStepCache> caches;
+  caches.reserve(xs.size());
+  std::vector<float> h(hidden_dim_, 0.f), c(hidden_dim_, 0.f);
+  for (const auto& x : xs) {
+    caches.push_back(forward(x, h, c));
+    h = caches.back().h;
+    c = caches.back().c;
+  }
+  return caches;
+}
+
+std::vector<std::vector<float>> LstmCell::backward_sequence(
+    const std::vector<LstmStepCache>& caches,
+    const std::vector<float>& dh_final) {
+  std::vector<std::vector<float>> dxs(caches.size());
+  std::vector<float> dh = dh_final;
+  std::vector<float> dc(hidden_dim_, 0.f);
+  for (std::size_t t = caches.size(); t-- > 0;) {
+    std::vector<float> dh_prev, dc_prev;
+    backward(caches[t], dh, dc, dxs[t], dh_prev, dc_prev);
+    dh = std::move(dh_prev);
+    dc = std::move(dc_prev);
+  }
+  return dxs;
+}
+
+std::vector<Mat*> LstmCell::params() { return {&wx_, &wh_, &b_}; }
+
+}  // namespace comet::nn

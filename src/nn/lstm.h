@@ -1,0 +1,66 @@
+// LSTM cell and sequence runner with full backpropagation through time.
+//
+// Gate layout in the stacked 4H dimension: [input | forget | cell | output].
+// Forward caches all per-step activations so backward() can run BPTT without
+// recomputation. This is the recurrent building block of the hierarchical
+// Ithemal surrogate (token LSTM feeding a block LSTM).
+#pragma once
+
+#include <vector>
+
+#include "nn/mat.h"
+
+namespace comet::nn {
+
+/// Cached activations of one LSTM step (needed for BPTT).
+struct LstmStepCache {
+  std::vector<float> x;       // input
+  std::vector<float> h_prev;  // previous hidden
+  std::vector<float> c_prev;  // previous cell
+  std::vector<float> gates;   // post-nonlinearity [i f g o]
+  std::vector<float> c;       // new cell
+  std::vector<float> tanh_c;  // tanh(c)
+  std::vector<float> h;       // new hidden
+};
+
+class LstmCell {
+ public:
+  LstmCell() = default;
+  LstmCell(std::size_t input_dim, std::size_t hidden_dim, util::Rng& rng);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t hidden_dim() const { return hidden_dim_; }
+
+  /// One forward step; returns the cache required for backward.
+  LstmStepCache forward(const std::vector<float>& x,
+                        const std::vector<float>& h_prev,
+                        const std::vector<float>& c_prev) const;
+
+  /// One BPTT step: given dL/dh and dL/dc at this step, accumulate parameter
+  /// gradients and produce dL/dx, dL/dh_prev, dL/dc_prev.
+  void backward(const LstmStepCache& cache, const std::vector<float>& dh,
+                const std::vector<float>& dc, std::vector<float>& dx,
+                std::vector<float>& dh_prev, std::vector<float>& dc_prev);
+
+  /// Run a whole sequence from zero state; returns all step caches.
+  /// The final hidden state is caches.back().h (or zeros for empty input).
+  std::vector<LstmStepCache> run(
+      const std::vector<std::vector<float>>& xs) const;
+
+  /// BPTT over a full sequence given the gradient of the final hidden state.
+  /// Returns dL/dx for every step.
+  std::vector<std::vector<float>> backward_sequence(
+      const std::vector<LstmStepCache>& caches,
+      const std::vector<float>& dh_final);
+
+  std::vector<Mat*> params();
+
+ private:
+  std::size_t input_dim_ = 0;
+  std::size_t hidden_dim_ = 0;
+  Mat wx_;  // 4H x D
+  Mat wh_;  // 4H x H
+  Mat b_;   // 4H x 1
+};
+
+}  // namespace comet::nn

@@ -1,0 +1,39 @@
+// Analytical RISC-V cost model with exact ground-truth explanations — the
+// RV64 analogue of the paper's crude interpretable model C (Section 6,
+// eq. 8-9), enabling the same objective accuracy evaluation of the ported
+// framework.
+//
+//   C_rv(β) = max{ cost_η(n), max_i cost_inst(inst_i),
+//                  max_{δij} cost_dep(δij) }
+//
+// Costs model a dual-issue in-order RV64 core (a Rocket/SiFive-U74-class
+// machine): cost_η = n/2 (issue bound), per-class instruction costs
+// (divides dominate, loads carry L1 latency), RAW dependencies serialize
+// their endpoints, WAR/WAW are free after renaming.
+#pragma once
+
+#include <string>
+
+#include "riscv/graph.h"
+
+namespace comet::riscv {
+
+class RvCostModel {
+ public:
+  explicit RvCostModel(DepGraphOptions graph_options = {});
+
+  double predict(const BasicBlock& block) const;
+  std::string name() const { return "crude-rv64"; }
+
+  double cost_num_insts(std::size_t n) const;
+  double cost_inst(const Instruction& inst) const;
+  double cost_dep(const BasicBlock& block, const DepEdge& edge) const;
+
+  /// GT(β): every feature whose cost attains C_rv(β) (eq. 9 analogue).
+  RvFeatureSet ground_truth(const BasicBlock& block) const;
+
+ private:
+  DepGraphOptions graph_options_;
+};
+
+}  // namespace comet::riscv

@@ -1,0 +1,54 @@
+// COMET's explanation engine mapped onto RISC-V (paper Section 7).
+//
+// The high-level formalism carries over unchanged, exactly as the paper
+// claims: the same relaxed optimization problem (eq. 7) — maximize coverage
+// subject to Prec(F) ≥ 1 − δ — solved by the same Anchors-style beam search
+// with KL-LUCB confidence bounds (shared verbatim via util/kl_bounds); only
+// the ISA-specific pieces (features, Γ) differ. Keeping the RV engine
+// separate from the x86 one makes the port's surface area explicit: this
+// file plus riscv/{isa,graph,perturb} is everything Section 7 asks for.
+#pragma once
+
+#include <cstdint>
+
+#include "riscv/cost.h"
+#include "riscv/perturb.h"
+
+namespace comet::riscv {
+
+struct RvExplainOptions {
+  double epsilon = 0.25;  ///< quarter-cycle step of the analytical model
+  double delta = 0.3;
+  double lucb_confidence_delta = 0.1;
+  double lucb_epsilon = 0.15;
+  std::size_t batch_size = 12;
+  std::size_t beam_width = 4;
+  std::size_t max_explanation_size = 3;
+  std::size_t max_pulls_per_level = 160;
+  std::size_t coverage_samples = 800;
+  std::uint64_t seed = 1;
+  DepGraphOptions graph_options;
+  RvPerturbConfig perturb_config;
+};
+
+struct RvExplanation {
+  RvFeatureSet features;
+  double precision = 0.0;
+  double coverage = 0.0;
+  bool met_threshold = false;
+  std::size_t model_queries = 0;
+};
+
+class RvExplainer {
+ public:
+  /// `model` must outlive the explainer.
+  RvExplainer(const RvCostModel& model, RvExplainOptions options = {});
+
+  RvExplanation explain(const BasicBlock& block) const;
+
+ private:
+  const RvCostModel& model_;
+  RvExplainOptions options_;
+};
+
+}  // namespace comet::riscv

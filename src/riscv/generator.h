@@ -1,0 +1,34 @@
+// Random valid RV64IM basic blocks for the ported framework's evaluation —
+// the RISC-V analogue of the synthetic BHive generator: a small register
+// pool induces realistic dependency chains, and class weights control the
+// mix of ALU, memory, and multiply/divide work.
+#pragma once
+
+#include <cstdint>
+
+#include "riscv/isa.h"
+#include "util/rng.h"
+
+namespace comet::riscv {
+
+struct RvGenOptions {
+  std::size_t min_insts = 4;
+  std::size_t max_insts = 10;
+  /// Relative class weights: IntAlu, IntMul, IntDiv, Load, Store.
+  double w_alu = 6.0;
+  double w_mul = 1.0;
+  double w_div = 0.5;
+  double w_load = 2.0;
+  double w_store = 1.5;
+  /// Number of distinct registers drawn from (small pool => more hazards).
+  std::size_t reg_pool = 6;
+};
+
+/// One random valid block.
+BasicBlock generate_block(util::Rng& rng, const RvGenOptions& options = {});
+
+/// A corpus of `n` blocks, deterministic in `seed`.
+std::vector<BasicBlock> generate_corpus(std::size_t n, std::uint64_t seed,
+                                        const RvGenOptions& options = {});
+
+}  // namespace comet::riscv

@@ -1,0 +1,110 @@
+#include "riscv/parser.h"
+
+#include <cstdlib>
+
+#include "util/str.h"
+
+namespace comet::riscv {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view line, const std::string& why) {
+  throw ParseError("riscv parse error in '" + std::string(line) +
+                   "': " + why);
+}
+
+Reg expect_reg(std::string_view line, std::string_view tok) {
+  const auto r = parse_reg(util::trim(tok));
+  if (!r) fail(line, "bad register '" + std::string(tok) + "'");
+  return *r;
+}
+
+std::int64_t expect_imm(std::string_view line, std::string_view tok) {
+  const std::string s(util::trim(tok));
+  if (s.empty()) fail(line, "missing immediate");
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0') {
+    fail(line, "bad immediate '" + s + "'");
+  }
+  return v;
+}
+
+/// Split "imm(reg)" into its parts.
+void parse_mem(std::string_view line, std::string_view tok,
+               std::int64_t& imm, Reg& base) {
+  const auto open = tok.find('(');
+  const auto close = tok.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    fail(line, "bad memory operand '" + std::string(tok) + "'");
+  }
+  const auto off = util::trim(tok.substr(0, open));
+  imm = off.empty() ? 0 : expect_imm(line, off);
+  base = expect_reg(line, tok.substr(open + 1, close - open - 1));
+}
+
+}  // namespace
+
+Instruction parse_instruction(std::string_view line) {
+  const auto trimmed = util::trim(line);
+  const auto sp = trimmed.find_first_of(" \t");
+  const auto mn = sp == std::string_view::npos ? trimmed : trimmed.substr(0, sp);
+  const auto op = parse_opcode(mn);
+  if (!op) fail(line, "unknown mnemonic '" + std::string(mn) + "'");
+
+  const auto rest =
+      sp == std::string_view::npos ? std::string_view{} : trimmed.substr(sp);
+  const auto parts = util::split(rest, ',');
+
+  Instruction inst;
+  inst.opcode = *op;
+  switch (info(*op).format) {
+    case Format::R:
+      if (parts.size() != 3) fail(line, "R-type needs rd, rs1, rs2");
+      inst.rd = expect_reg(line, parts[0]);
+      inst.rs1 = expect_reg(line, parts[1]);
+      inst.rs2 = expect_reg(line, parts[2]);
+      break;
+    case Format::I:
+      if (parts.size() != 3) fail(line, "I-type needs rd, rs1, imm");
+      inst.rd = expect_reg(line, parts[0]);
+      inst.rs1 = expect_reg(line, parts[1]);
+      inst.imm = expect_imm(line, parts[2]);
+      break;
+    case Format::U:
+      if (parts.size() != 2) fail(line, "U-type needs rd, imm");
+      inst.rd = expect_reg(line, parts[0]);
+      inst.imm = expect_imm(line, parts[1]);
+      break;
+    case Format::Load:
+      if (parts.size() != 2) fail(line, "load needs rd, imm(rs1)");
+      inst.rd = expect_reg(line, parts[0]);
+      parse_mem(line, parts[1], inst.imm, inst.rs1);
+      break;
+    case Format::Store:
+      if (parts.size() != 2) fail(line, "store needs rs2, imm(rs1)");
+      inst.rs2 = expect_reg(line, parts[0]);
+      parse_mem(line, parts[1], inst.imm, inst.rs1);
+      break;
+  }
+  if (!is_valid(inst)) fail(line, "operands out of range");
+  return inst;
+}
+
+BasicBlock parse_block(std::string_view text) {
+  BasicBlock block;
+  for (const auto& raw : util::split(text, '\n')) {
+    auto line = std::string_view(raw);
+    for (const char c : {'#', ';'}) {
+      const auto pos = line.find(c);
+      if (pos != std::string_view::npos) line = line.substr(0, pos);
+    }
+    line = util::trim(line);
+    if (line.empty()) continue;
+    block.instructions.push_back(parse_instruction(line));
+  }
+  return block;
+}
+
+}  // namespace comet::riscv

@@ -1,0 +1,32 @@
+// RISC-V assembly parser for the RV64IM subset.
+//
+//   add a0, a1, a2      (R)
+//   addi t0, t1, -4     (I)
+//   lui  a0, 4096       (U)
+//   ld   a0, 8(sp)      (Load)
+//   sd   a1, 0(a0)      (Store)
+//
+// Accepts ABI and architectural (x0..x31) register names, '#'/';' comments,
+// and blank lines.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "riscv/isa.h"
+
+namespace comet::riscv {
+
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parse one instruction line. Throws ParseError.
+Instruction parse_instruction(std::string_view line);
+
+/// Parse a multi-line block; validates every instruction. Throws ParseError.
+BasicBlock parse_block(std::string_view text);
+
+}  // namespace comet::riscv

@@ -1,0 +1,72 @@
+// uiCA-style bottleneck analysis (paper Appendix H.3).
+//
+// The paper contrasts uiCA with neural models partly on insight: uiCA "can
+// output detailed insights into its process of computing its throughput
+// prediction, such as where in the CPU's pipeline its simulator identified
+// a bottleneck". This module provides that capability for the simulation
+// substrate: given a block, it reports the three classical throughput
+// bounds —
+//
+//   * front-end:   uops per iteration / issue width,
+//   * ports:       busiest execution-port occupancy per iteration,
+//   * dependency:  cycles per iteration with port contention disabled
+//                  (the pure loop-carried latency-chain bound),
+//
+// classifies which bound binds the measured steady-state throughput, and
+// attributes per-instruction stalls (what gated each occurrence's start in
+// the measured window). Examples and the differential-analysis tool use the
+// report to cross-check COMET's explanations against the simulator's own
+// account of the block.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "sim/pipeline.h"
+#include "x86/instruction.h"
+
+namespace comet::sim {
+
+/// Which classical bound binds the block's throughput.
+enum class BottleneckKind : std::uint8_t {
+  FrontEnd,    ///< issue width saturated
+  Ports,       ///< one execution port saturated
+  Dependency,  ///< a loop-carried latency chain dominates
+};
+
+std::string bottleneck_kind_name(BottleneckKind kind);
+
+/// Per-instruction stall attribution over the measured window.
+struct InstStallProfile {
+  std::size_t index = 0;      ///< instruction position in the block
+  std::string text;           ///< rendered instruction
+  double frontend_frac = 0;   ///< fraction of occurrences gated by issue
+  double dependency_frac = 0; ///< ... by operand readiness
+  double port_frac = 0;       ///< ... by port availability
+};
+
+struct BottleneckReport {
+  double throughput = 0.0;        ///< measured cycles/iteration
+  double frontend_bound = 0.0;    ///< uops / issue width
+  double port_bound = 0.0;        ///< busiest port's cycles/iteration
+  double dependency_bound = 0.0;  ///< cycles/iteration, ports disabled
+  int busiest_port = -1;
+  std::array<double, kSimPorts> port_pressure{};  ///< cycles/iter per port
+  BottleneckKind kind = BottleneckKind::FrontEnd;
+  std::vector<InstStallProfile> stalls;
+  /// Instructions whose occurrences were predominantly gated by the
+  /// binding resource (the simulator's own "explanation" of the block).
+  std::vector<std::size_t> critical_instructions;
+
+  /// Multi-line human-readable report.
+  std::string to_string() const;
+};
+
+/// Analyze `block` looped on `uarch`. Deterministic.
+BottleneckReport analyze_bottleneck(const x86::BasicBlock& block,
+                                    cost::MicroArch uarch,
+                                    const SimOptions& options = {});
+
+}  // namespace comet::sim

@@ -1,0 +1,322 @@
+#include "sim/pipeline.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cost/throughput_table.h"
+
+namespace comet::sim {
+
+namespace {
+
+using cost::MicroArch;
+using x86::OpClass;
+using x86::Opcode;
+
+constexpr int kNumPorts = 8;
+
+// Execution-port mask (bit i = port i) for the compute uop of an opcode
+// class, per microarchitecture. Port numbering follows Intel convention:
+// 0/1/5/6 integer ALU, 0/1 FP, 2/3 load, 4 store-data, 7 store-address.
+std::uint16_t compute_ports(OpClass cls, MicroArch u) {
+  const bool skl = u == MicroArch::Skylake;
+  switch (cls) {
+    case OpClass::Mov:
+    case OpClass::IntAlu:
+    case OpClass::Stack:
+      return 0b01100011;  // p0 p1 p5 p6
+    case OpClass::Shift:
+      return 0b01000001;  // p0 p6
+    case OpClass::Lea:
+      return 0b00100010;  // p1 p5
+    case OpClass::IntMul:
+      return 0b00000010;  // p1
+    case OpClass::IntDiv:
+      return 0b00000001;  // p0 (divider)
+    case OpClass::Nop:
+      return 0b01100011;
+    case OpClass::FpMov:
+      return 0b00100011;  // p0 p1 p5
+    case OpClass::FpAdd:
+      return skl ? 0b00000011   // SKL: p0 p1
+                 : 0b00000010;  // HSW: p1 only
+    case OpClass::FpMul:
+    case OpClass::FpFma:
+      return 0b00000011;  // p0 p1
+    case OpClass::FpDiv:
+      return 0b00000001;  // p0 (divider)
+    case OpClass::VecInt:
+      return 0b00100011;  // p0 p1 p5
+    case OpClass::VecIntMul:
+      return skl ? 0b00000011 : 0b00000001;
+    case OpClass::Shuffle:
+      return 0b00100000;  // p5
+    case OpClass::Convert:
+      return 0b00000011;
+  }
+  return 0b01100011;
+}
+
+constexpr std::uint16_t kLoadPorts = 0b00001100;       // p2 p3
+constexpr std::uint16_t kStoreDataPorts = 0b00010000;  // p4
+constexpr std::uint16_t kStoreAddrPorts = 0b10001100;  // p2 p3 p7
+
+struct PortFile {
+  std::array<double, kNumPorts> free_at{};  // next free cycle per port
+  int last_port = -1;  ///< port chosen by the most recent dispatch
+
+  /// Dispatch a uop with earliest start `ready` on any port in `mask`,
+  /// occupying the chosen port for `occupancy` cycles. Returns start time.
+  /// Ties on start time go to the least-loaded (earliest-free) port, so
+  /// un-contended uops spread across their port set instead of queueing
+  /// behind an arbitrary fixed pick — this is what makes the per-port
+  /// pressure numbers in SimTrace meaningful.
+  double dispatch(double ready, std::uint16_t mask, double occupancy) {
+    int best = -1;
+    double best_start = 0.0;
+    for (int p = 0; p < kNumPorts; ++p) {
+      if (!(mask & (1u << p))) continue;
+      const double start = std::max(ready, free_at[p]);
+      if (best < 0 || start < best_start ||
+          (start == best_start && free_at[p] < free_at[best])) {
+        best = p;
+        best_start = start;
+      }
+    }
+    last_port = best;
+    if (best < 0) return ready;  // no port constraint
+    free_at[best] = best_start + occupancy;
+    return best_start;
+  }
+};
+
+// Memory location key: syntactic identity of the address expression.
+std::string mem_key(const x86::MemOperand& m) {
+  std::string k;
+  if (m.base) k += x86::reg_name(*m.base);
+  k += '|';
+  if (m.index) {
+    k += x86::reg_name(*m.index);
+    k += '*';
+    k += std::to_string(int(m.scale));
+  }
+  k += '|';
+  k += std::to_string(m.disp);
+  return k;
+}
+
+struct DecodedInst {
+  x86::InstSemantics sem;
+  std::uint16_t ports;
+  double latency;
+  double occupancy;
+  bool zero_idiom;
+  bool load;
+  bool store;
+  int uops;
+};
+
+DecodedInst decode(const x86::Instruction& inst, MicroArch u,
+                   const SimOptions& opt) {
+  DecodedInst d;
+  d.sem = x86::semantics(inst);
+  const auto& inf = x86::info(inst.opcode);
+  d.ports = compute_ports(inf.cls, u);
+  d.load = (d.sem.mem && d.sem.mem->read) || d.sem.stack_mem_read;
+  d.store = (d.sem.mem && d.sem.mem->write) || d.sem.stack_mem_write;
+
+  double lat = cost::inst_latency(inst, u) * opt.latency_scale;
+  if (opt.round_latencies) lat = std::max(1.0, std::round(lat));
+  d.latency = lat;
+
+  // Non-pipelined units (dividers) occupy their port for the reciprocal
+  // throughput; pipelined ops occupy one cycle.
+  const double rt = cost::inst_throughput(inst, u);
+  const bool divider =
+      inf.cls == OpClass::IntDiv || inf.cls == OpClass::FpDiv;
+  d.occupancy = divider ? rt + opt.div_occupancy_extra
+                        : std::min(1.0, std::max(0.25, rt));
+
+  d.zero_idiom = opt.zero_idiom && is_zero_idiom(inst);
+  d.uops = uop_count(inst);
+  return d;
+}
+
+}  // namespace
+
+bool is_zero_idiom(const x86::Instruction& inst) {
+  switch (inst.opcode) {
+    case Opcode::XOR:
+    case Opcode::SUB:
+    case Opcode::PXOR:
+    case Opcode::XORPS:
+    case Opcode::XORPD:
+      break;
+    case Opcode::VXORPS: {
+      // vxorps dst, a, a with a == a.
+      if (inst.operands.size() == 3 && inst.operands[1].is_reg() &&
+          inst.operands[2].is_reg() &&
+          inst.operands[1].as_reg() == inst.operands[2].as_reg()) {
+        return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+  return inst.operands.size() == 2 && inst.operands[0].is_reg() &&
+         inst.operands[1].is_reg() &&
+         inst.operands[0].as_reg() == inst.operands[1].as_reg();
+}
+
+int uop_count(const x86::Instruction& inst) {
+  const auto sem = x86::semantics(inst);
+  int uops = 1;
+  if ((sem.mem && sem.mem->read) || sem.stack_mem_read) uops += 1;
+  if ((sem.mem && sem.mem->write) || sem.stack_mem_write) uops += 2;
+  return uops;
+}
+
+double simulate_throughput(const x86::BasicBlock& block,
+                           cost::MicroArch uarch, const SimOptions& opt,
+                           SimTrace* trace) {
+  if (block.empty()) return 0.0;
+
+  std::vector<DecodedInst> dec;
+  dec.reserve(block.size());
+  int uops_per_iter = 0;
+  for (const auto& inst : block.instructions) {
+    dec.push_back(decode(inst, uarch, opt));
+    uops_per_iter += dec.back().uops;
+  }
+
+  PortFile ports;
+  std::map<x86::RegFamily, double> reg_ready;
+  std::map<std::string, double> mem_ready;
+  long uops_issued = 0;
+  double iter_mark_mid = 0.0;
+  double iter_mark_end = 0.0;
+  const int n_iter = std::max(8, opt.iterations);
+  const int mid = n_iter / 2;
+  double max_finish = 0.0;
+
+  if (trace != nullptr) {
+    *trace = SimTrace{};
+    trace->window_iterations = n_iter - mid;
+    trace->uops_per_iteration = uops_per_iter;
+    trace->frontend_stalls.assign(block.size(), 0);
+    trace->dependency_stalls.assign(block.size(), 0);
+    trace->port_stalls.assign(block.size(), 0);
+  }
+
+  // Record one dispatched uop into the trace's port-busy accounting.
+  const auto note_busy = [&](bool in_window, double occupancy) {
+    if (trace == nullptr || !in_window || ports.last_port < 0) return;
+    trace->port_busy[ports.last_port] += occupancy;
+  };
+
+  for (int it = 0; it < n_iter; ++it) {
+    const bool in_window = it >= mid;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const auto& d = dec[i];
+      const auto& inst = block.instructions[i];
+
+      // Front-end: in-order issue of fused-domain uops, W per cycle.
+      const double frontend =
+          static_cast<double>(uops_issued) / opt.issue_width;
+      uops_issued += d.uops;
+
+      double ready = frontend;
+      if (!d.zero_idiom && opt.model_loop_carried) {
+        for (const auto& a : d.sem.regs) {
+          if (!a.read) continue;
+          const auto it2 = reg_ready.find(a.reg.family);
+          if (it2 != reg_ready.end()) ready = std::max(ready, it2->second);
+        }
+        if (d.sem.mem && d.sem.mem->read) {
+          const auto it2 = mem_ready.find(mem_key(d.sem.mem->mem));
+          if (it2 != mem_ready.end()) ready = std::max(ready, it2->second);
+        }
+      } else if (!d.zero_idiom) {
+        // Intra-iteration dependencies only (MCA-like configurations).
+        for (const auto& a : d.sem.regs) {
+          if (!a.read) continue;
+          const auto it2 = reg_ready.find(a.reg.family);
+          if (it2 != reg_ready.end()) ready = std::max(ready, it2->second);
+        }
+      }
+      const double dep_ready = ready;  // before port availability
+
+      double finish;
+      double start = ready;
+      if (d.zero_idiom) {
+        finish = frontend;  // handled at rename: no port, no latency
+      } else if (opt.ignore_ports) {
+        finish = ready + d.latency;
+      } else {
+        // Auxiliary memory uops contend on the load/store ports. The load
+        // result gates the compute uop; store uops only occupy ports.
+        if (d.load) {
+          const double lstart = ports.dispatch(ready, kLoadPorts, 1.0);
+          note_busy(in_window, 1.0);
+          ready = std::max(ready, lstart);
+          max_finish = std::max(max_finish, lstart + 1.0);
+        }
+        if (d.store) {
+          const double sa = ports.dispatch(ready, kStoreAddrPorts, 1.0);
+          note_busy(in_window, 1.0);
+          const double sd = ports.dispatch(ready, kStoreDataPorts, 1.0);
+          note_busy(in_window, 1.0);
+          max_finish = std::max(max_finish, std::max(sa, sd) + 1.0);
+        }
+        start = ports.dispatch(ready, d.ports, d.occupancy);
+        note_busy(in_window, d.occupancy);
+        finish = start + d.latency;
+      }
+
+      // Stall attribution: what actually set this occurrence's start time?
+      if (trace != nullptr && in_window && !d.zero_idiom) {
+        constexpr double kTol = 1e-9;
+        if (start > dep_ready + kTol) {
+          ++trace->port_stalls[i];
+        } else if (dep_ready > frontend + kTol) {
+          ++trace->dependency_stalls[i];
+        } else {
+          ++trace->frontend_stalls[i];
+        }
+      }
+
+      // The stack engine renames rsp at issue: push/pop do not put the
+      // stack-pointer update on the latency-critical path.
+      const bool stack_engine = x86::info(inst.opcode).cls == OpClass::Stack;
+      for (const auto& a : d.sem.regs) {
+        if (!a.write) continue;
+        if (stack_engine && a.reg.family == x86::RegFamily::RSP) {
+          reg_ready[a.reg.family] = frontend + 1.0;
+        } else {
+          reg_ready[a.reg.family] = finish;
+        }
+      }
+      if (d.sem.mem && d.sem.mem->write) {
+        mem_ready[mem_key(d.sem.mem->mem)] = finish;
+      }
+      if (!opt.model_loop_carried && i + 1 == block.size()) {
+        reg_ready.clear();
+        mem_ready.clear();
+      }
+      max_finish = std::max(max_finish, finish);
+    }
+    if (it == mid - 1) iter_mark_mid = max_finish;
+    if (it == n_iter - 1) iter_mark_end = max_finish;
+  }
+
+  const double cycles = iter_mark_end - iter_mark_mid;
+  const double iters = static_cast<double>(n_iter - mid);
+  return std::max(cycles / iters, 0.05);
+}
+
+}  // namespace comet::sim

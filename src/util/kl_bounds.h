@@ -1,0 +1,35 @@
+// Bernoulli KL-divergence confidence bounds used by the KL-LUCB best-arm
+// identification procedure (Kaufmann & Kalyanakrishnan, 2013), which COMET
+// (following Anchors, Ribeiro et al. 2018) uses to estimate the precision of
+// candidate explanation feature sets with as few cost-model queries as
+// possible.
+//
+// For an arm with empirical mean p_hat after n pulls and exploration level
+// `level` (typically log(1/delta) plus a union-bound term), the upper/lower
+// confidence bounds are
+//
+//   ub = max { q in [p_hat, 1] : n * kl(p_hat, q) <= level }
+//   lb = min { q in [0, p_hat] : n * kl(p_hat, q) <= level }
+//
+// computed here by bisection on the monotone function kl(p_hat, .).
+#pragma once
+
+#include <cstddef>
+
+namespace comet::util {
+
+/// KL divergence between Bernoulli(p) and Bernoulli(q), in nats.
+/// Handles the p in {0,1} boundary cases; q is clamped away from {0,1}.
+double bernoulli_kl(double p, double q);
+
+/// Upper confidence bound: largest q >= p_hat with n*kl(p_hat,q) <= level.
+double kl_upper_bound(double p_hat, std::size_t n, double level);
+
+/// Lower confidence bound: smallest q <= p_hat with n*kl(p_hat,q) <= level.
+double kl_lower_bound(double p_hat, std::size_t n, double level);
+
+/// Exploration level used by KL-LUCB: log(k1 * n_arms * t^alpha / delta),
+/// the union-bound schedule recommended in the paper (alpha=1.1, k1=405.5).
+double kl_lucb_level(std::size_t t, std::size_t n_arms, double delta);
+
+}  // namespace comet::util

@@ -1,0 +1,28 @@
+// String helpers shared by the assembly parser and bench output.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace comet::util {
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on any run of whitespace; drops empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Lowercase copy (ASCII).
+std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace comet::util

@@ -1,0 +1,52 @@
+#include "util/table.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace comet::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table::add_row: arity mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt_pm(double mean, double std, int precision) {
+  return fmt(mean, precision) + " +- " + fmt(std, precision);
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto rule = [&] {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+}  // namespace comet::util

@@ -1,0 +1,31 @@
+// ASCII table rendering for benchmark output. Every bench binary prints the
+// rows/series of the paper table or figure it reproduces through this class,
+// so all experiment output is uniformly formatted and grep-able.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace comet::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string fmt(double v, int precision = 2);
+  /// "mean ± std" cell.
+  static std::string fmt_pm(double mean, double std, int precision = 2);
+
+  /// Render with box-drawing separators.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace comet::util

@@ -1,0 +1,252 @@
+// The x86-64 instruction-set catalog.
+//
+// This is the ISA substrate COMET runs on: for each supported opcode it
+// records (a) the operand signatures the opcode accepts — used both to
+// validate parsed blocks and to answer the perturbation algorithm's central
+// query, "which opcodes could replace this one while keeping the instruction
+// valid?" — and (b) the read/write semantics of each operand slot plus any
+// implicit register effects, from which the dependency multigraph is built.
+//
+// The catalog covers a curated 260-opcode subset of x86-64: scalar integer
+// ALU/mul/div/shift/bit ops, moves and cmovs, stack push/pop, lea, SSE and
+// AVX scalar/packed floating point, packed integer, and FMA. Control-flow
+// opcodes (jmp/call/ret) are deliberately absent: COMET operates on basic
+// blocks, which contain none by definition.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "x86/operand.h"
+#include "x86/registers.h"
+
+namespace comet::x86 {
+
+// X-macro master opcode list. Order defines enum values; keep stable.
+#define COMET_X86_OPCODES(X)                                                   \
+  /* scalar integer */                                                         \
+  X(MOV, mov) X(MOVZX, movzx) X(MOVSX, movsx) X(LEA, lea)                      \
+  X(ADD, add) X(SUB, sub) X(ADC, adc) X(SBB, sbb)                              \
+  X(AND, and) X(OR, or) X(XOR, xor) X(CMP, cmp) X(TEST, test)                  \
+  X(INC, inc) X(DEC, dec) X(NEG, neg) X(NOT, not)                              \
+  X(IMUL, imul) X(MUL, mul) X(DIV, div) X(IDIV, idiv)                          \
+  X(SHL, shl) X(SHR, shr) X(SAR, sar) X(ROL, rol) X(ROR, ror)                  \
+  X(BSWAP, bswap) X(BSF, bsf) X(BSR, bsr)                                      \
+  X(POPCNT, popcnt) X(LZCNT, lzcnt) X(TZCNT, tzcnt)                            \
+  X(XCHG, xchg) X(PUSH, push) X(POP, pop) X(NOP, nop)                          \
+  X(CMOVE, cmove) X(CMOVNE, cmovne) X(CMOVL, cmovl) X(CMOVLE, cmovle)          \
+  X(CMOVG, cmovg) X(CMOVGE, cmovge) X(CMOVB, cmovb) X(CMOVA, cmova)            \
+  X(CMOVS, cmovs) X(CMOVNS, cmovns)                                            \
+  /* SSE scalar floating point */                                              \
+  X(MOVSS, movss) X(MOVSD, movsd)                                              \
+  X(ADDSS, addss) X(ADDSD, addsd) X(SUBSS, subss) X(SUBSD, subsd)              \
+  X(MULSS, mulss) X(MULSD, mulsd) X(DIVSS, divss) X(DIVSD, divsd)              \
+  X(SQRTSS, sqrtss) X(SQRTSD, sqrtsd)                                          \
+  X(MINSS, minss) X(MAXSS, maxss) X(MINSD, minsd) X(MAXSD, maxsd)              \
+  X(UCOMISS, ucomiss) X(UCOMISD, ucomisd)                                      \
+  X(CVTSI2SS, cvtsi2ss) X(CVTSI2SD, cvtsi2sd)                                  \
+  X(CVTTSS2SI, cvttss2si) X(CVTTSD2SI, cvttsd2si)                              \
+  X(RCPSS, rcpss) X(RSQRTSS, rsqrtss)                                          \
+  X(CVTSS2SD, cvtss2sd) X(CVTSD2SS, cvtsd2ss)                                  \
+  X(COMISS, comiss) X(COMISD, comisd)                                          \
+  /* SSE packed */                                                             \
+  X(MOVAPS, movaps) X(MOVUPS, movups) X(MOVAPD, movapd) X(MOVUPD, movupd)      \
+  X(MOVDQA, movdqa) X(MOVDQU, movdqu)                                          \
+  X(ADDPS, addps) X(ADDPD, addpd) X(SUBPS, subps) X(SUBPD, subpd)              \
+  X(MULPS, mulps) X(MULPD, mulpd) X(DIVPS, divps) X(DIVPD, divpd)              \
+  X(SQRTPS, sqrtps) X(SQRTPD, sqrtpd)                                          \
+  X(XORPS, xorps) X(XORPD, xorpd) X(ANDPS, andps) X(ANDPD, andpd)              \
+  X(ORPS, orps) X(ORPD, orpd)                                                  \
+  X(PXOR, pxor) X(PAND, pand) X(POR, por)                                      \
+  X(PADDB, paddb) X(PADDW, paddw) X(PADDD, paddd) X(PADDQ, paddq)              \
+  X(PSUBB, psubb) X(PSUBW, psubw) X(PSUBD, psubd) X(PSUBQ, psubq)              \
+  X(PMULLW, pmullw) X(PMULLD, pmulld)                                          \
+  X(PCMPEQB, pcmpeqb) X(PCMPEQW, pcmpeqw) X(PCMPEQD, pcmpeqd)                  \
+  X(PCMPGTB, pcmpgtb) X(PCMPGTW, pcmpgtw) X(PCMPGTD, pcmpgtd)                  \
+  X(PMINSD, pminsd) X(PMAXSD, pmaxsd) X(PMINUB, pminub) X(PMAXUB, pmaxub)      \
+  X(PAVGB, pavgb) X(PAVGW, pavgw) X(PABSB, pabsb) X(PABSW, pabsw)              \
+  X(PABSD, pabsd)                                                              \
+  X(MINPS, minps) X(MAXPS, maxps) X(MINPD, minpd) X(MAXPD, maxpd)              \
+  X(ANDNPS, andnps) X(ANDNPD, andnpd)                                          \
+  X(MOVSLDUP, movsldup) X(MOVSHDUP, movshdup)                                  \
+  X(RCPPS, rcpps) X(RSQRTPS, rsqrtps)                                          \
+  X(PSHUFD, pshufd) X(SHUFPS, shufps) X(UNPCKLPS, unpcklps)                    \
+  /* AVX */                                                                    \
+  X(VMOVSS, vmovss) X(VMOVSD, vmovsd)                                          \
+  X(VMOVAPS, vmovaps) X(VMOVUPS, vmovups)                                      \
+  X(VADDSS, vaddss) X(VADDSD, vaddsd) X(VSUBSS, vsubss) X(VSUBSD, vsubsd)      \
+  X(VMULSS, vmulss) X(VMULSD, vmulsd) X(VDIVSS, vdivss) X(VDIVSD, vdivsd)      \
+  X(VSQRTSS, vsqrtss) X(VSQRTSD, vsqrtsd)                                      \
+  X(VXORPS, vxorps) X(VANDPS, vandps) X(VORPS, vorps)                          \
+  X(VADDPS, vaddps) X(VADDPD, vaddpd) X(VSUBPS, vsubps) X(VSUBPD, vsubpd)      \
+  X(VMULPS, vmulps) X(VMULPD, vmulpd) X(VDIVPS, vdivps) X(VDIVPD, vdivpd)      \
+  X(VRCPSS, vrcpss) X(VRSQRTSS, vrsqrtss)                                      \
+  X(VMINSS, vminss) X(VMAXSS, vmaxss) X(VMINSD, vminsd) X(VMAXSD, vmaxsd)      \
+  X(VMINPS, vminps) X(VMAXPS, vmaxps) X(VANDNPS, vandnps)                      \
+  X(VPADDD, vpaddd) X(VPSUBD, vpsubd) X(VPAND, vpand) X(VPOR, vpor)            \
+  X(VPXOR, vpxor) X(VPCMPEQD, vpcmpeqd) X(VPMINSD, vpminsd)                    \
+  X(VPMAXSD, vpmaxsd)                                                          \
+  X(VFMADD231SS, vfmadd231ss) X(VFMADD231SD, vfmadd231sd)                      \
+  X(VFMADD231PS, vfmadd231ps) X(VFMADD231PD, vfmadd231pd)                      \
+  /* flag consumers, BMI, misc integer */                                      \
+  X(SETE, sete) X(SETNE, setne) X(SETL, setl) X(SETLE, setle)                  \
+  X(SETG, setg) X(SETGE, setge) X(SETB, setb) X(SETA, seta)                    \
+  X(SETS, sets) X(SETNS, setns)                                                \
+  X(CMOVBE, cmovbe) X(CMOVAE, cmovae) X(CMOVO, cmovo) X(CMOVNO, cmovno)        \
+  X(CMOVP, cmovp) X(CMOVNP, cmovnp)                                            \
+  X(MOVBE, movbe) X(XADD, xadd) X(CDQ, cdq) X(CQO, cqo)                        \
+  X(ANDN, andn) X(BLSI, blsi) X(BLSR, blsr) X(BLSMSK, blsmsk)                  \
+  X(SHLX, shlx) X(SHRX, shrx) X(SARX, sarx) X(RORX, rorx)                      \
+  /* SSE/AVX data movement & conversion */                                     \
+  X(MOVD, movd) X(MOVQ, movq)                                                  \
+  X(CVTPS2PD, cvtps2pd) X(CVTPD2PS, cvtpd2ps)                                  \
+  X(CVTDQ2PS, cvtdq2ps) X(CVTPS2DQ, cvtps2dq)                                  \
+  X(PMOVMSKB, pmovmskb) X(PTEST, ptest)                                        \
+  /* packed shifts & horizontal ops */                                         \
+  X(PSLLW, psllw) X(PSLLD, pslld) X(PSLLQ, psllq)                              \
+  X(PSRLW, psrlw) X(PSRLD, psrld) X(PSRLQ, psrlq)                              \
+  X(HADDPS, haddps) X(HADDPD, haddpd) X(PHADDW, phaddw) X(PHADDD, phaddd)      \
+  /* AVX2 integer, broadcasts, lane ops, more FMA forms */                     \
+  X(VMOVDQA, vmovdqa) X(VMOVDQU, vmovdqu)                                      \
+  X(VPADDB, vpaddb) X(VPADDW, vpaddw) X(VPADDQ, vpaddq)                        \
+  X(VPSUBB, vpsubb) X(VPSUBW, vpsubw) X(VPSUBQ, vpsubq)                        \
+  X(VPMULLW, vpmullw) X(VPMULLD, vpmulld)                                      \
+  X(VPCMPGTD, vpcmpgtd) X(VPMINUB, vpminub) X(VPMAXUB, vpmaxub)                \
+  X(VPABSD, vpabsd) X(VPAVGB, vpavgb)                                          \
+  X(VBROADCASTSS, vbroadcastss) X(VPBROADCASTD, vpbroadcastd)                  \
+  X(VPSHUFD, vpshufd) X(VSHUFPS, vshufps) X(VUNPCKLPS, vunpcklps)              \
+  X(VPERM2F128, vperm2f128) X(VINSERTF128, vinsertf128)                        \
+  X(VEXTRACTF128, vextractf128)                                                \
+  X(VFMADD132SS, vfmadd132ss) X(VFMADD213SS, vfmadd213ss)                      \
+  X(VFMADD132SD, vfmadd132sd) X(VFMADD213SD, vfmadd213sd)                      \
+  X(VFNMADD231SS, vfnmadd231ss) X(VFMSUB231SS, vfmsub231ss)                    \
+  X(VFMADD132PS, vfmadd132ps) X(VFMADD213PS, vfmadd213ps)
+
+enum class Opcode : std::uint16_t {
+#define COMET_X86_ENUM(name, mnemonic) name,
+  COMET_X86_OPCODES(COMET_X86_ENUM)
+#undef COMET_X86_ENUM
+      kCount,
+};
+
+constexpr std::size_t kNumOpcodes = static_cast<std::size_t>(Opcode::kCount);
+
+/// Broad semantic class of an opcode; used by the cost models (per-class
+/// default costs), the simulators (port binding), and the block generator.
+enum class OpClass : std::uint8_t {
+  Mov,        // register/memory data movement (int)
+  IntAlu,     // add/sub/logic/inc/dec/cmp/test/neg/not/cmov/bit scans
+  IntMul,     // imul/mul
+  IntDiv,     // div/idiv
+  Lea,        // address computation; memory operand is address-only
+  Shift,      // shl/shr/sar/rol/ror
+  Stack,      // push/pop
+  Nop,
+  FpMov,      // movss/movaps/... (scalar & packed moves)
+  FpAdd,      // FP add/sub/min/max/compare
+  FpMul,      // FP multiply
+  FpDiv,      // FP divide / sqrt
+  FpFma,      // fused multiply-add
+  VecInt,     // packed integer ALU
+  VecIntMul,  // packed integer multiply
+  Shuffle,    // pshufd/shufps/unpck
+  Convert,    // int<->fp conversions
+};
+
+/// Human-readable name of an opcode class ("IntDiv", "FpAdd", ...).
+std::string_view op_class_name(OpClass cls);
+
+// Operand access bits.
+inline constexpr std::uint8_t kRead = 1;
+inline constexpr std::uint8_t kWrite = 2;
+
+// Operand-kind bitmask values for signature slots.
+inline constexpr std::uint8_t kKindReg = 1;
+inline constexpr std::uint8_t kKindMem = 2;
+inline constexpr std::uint8_t kKindImm = 4;
+
+/// Bit for a given operand width in a size mask (8->1, 16->2, ..., 256->32).
+constexpr std::uint32_t size_bit(std::uint16_t bits) {
+  switch (bits) {
+    case 8: return 1u << 0;
+    case 16: return 1u << 1;
+    case 32: return 1u << 2;
+    case 64: return 1u << 3;
+    case 128: return 1u << 4;
+    case 256: return 1u << 5;
+    case 512: return 1u << 6;
+    default: return 0;
+  }
+}
+
+/// One operand slot of a signature.
+struct OpSpec {
+  std::uint8_t kinds = 0;    ///< bitmask of kKind*
+  std::uint32_t sizes = 0;   ///< bitmask of size_bit(...)
+  std::uint8_t access = 0;   ///< kRead | kWrite
+  /// If set, a register operand must belong to this family (e.g. `cl`
+  /// shift counts must be RCX).
+  std::optional<RegFamily> fixed_family;
+  /// Register class a register operand must have.
+  RegClass reg_cls = RegClass::Gpr;
+};
+
+/// Width rule for an implicit register effect.
+struct ImplicitReg {
+  RegFamily family;
+  std::uint16_t fixed_width;  ///< 0 => use the width of operand 0
+  bool read = false;
+  bool write = false;
+};
+
+/// A full operand signature for one form of an opcode.
+struct Signature {
+  std::vector<OpSpec> slots;
+  /// All reg/mem slots must share the same width (standard 2-op int ALU).
+  bool same_width = false;
+  /// Source (slot 1) must be strictly narrower than destination (movzx).
+  bool src_smaller = false;
+  /// Implicit register effects of this form (e.g. 1-operand imul/div).
+  std::vector<ImplicitReg> implicit;
+};
+
+/// Catalog record for one opcode.
+struct OpcodeInfo {
+  Opcode op;
+  std::string_view mnemonic;
+  OpClass cls;
+  std::vector<Signature> signatures;
+  bool reads_flags = false;
+  bool writes_flags = false;
+  /// Memory operand is only an address computation (lea): no memory access.
+  bool address_only_mem = false;
+  /// Implicit stack memory access (push/pop).
+  bool stack_mem_read = false;
+  bool stack_mem_write = false;
+};
+
+/// Catalog access. Info for every opcode is built once at startup.
+const OpcodeInfo& info(Opcode op);
+std::string_view mnemonic(Opcode op);
+std::optional<Opcode> parse_opcode(std::string_view mnemonic);
+std::span<const Opcode> all_opcodes();
+
+/// Does `sig` accept the given concrete operands?
+bool matches(const Signature& sig, std::span<const Operand> operands);
+
+/// First signature of `op` matching `operands`, or nullptr.
+const Signature* find_signature(Opcode op, std::span<const Operand> operands);
+
+/// All opcodes other than `op` that accept `operands` (the perturbation
+/// algorithm's opcode-replacement candidate set). Respects the paper's
+/// lea special case: an address-only-memory opcode is never interchangeable
+/// with a real memory access, so lea has no replacement candidates and is
+/// never offered as one when the instruction has a memory operand.
+std::vector<Opcode> replacement_opcodes(Opcode op,
+                                        std::span<const Operand> operands);
+
+}  // namespace comet::x86

@@ -1,0 +1,84 @@
+#include "x86/operand.h"
+
+#include <stdexcept>
+
+#include "util/str.h"
+
+namespace comet::x86 {
+
+std::uint16_t Operand::size_bits() const {
+  switch (kind()) {
+    case OperandKind::Reg: return as_reg().width_bits;
+    case OperandKind::Mem: return as_mem().size_bits;
+    case OperandKind::Imm: return as_imm().size_bits;
+  }
+  return 0;
+}
+
+std::vector<Reg> Operand::address_regs() const {
+  std::vector<Reg> out;
+  if (!is_mem()) return out;
+  const auto& m = as_mem();
+  if (m.base) out.push_back(*m.base);
+  if (m.index) out.push_back(*m.index);
+  return out;
+}
+
+std::string Operand::to_string() const {
+  switch (kind()) {
+    case OperandKind::Reg:
+      return reg_name(as_reg());
+    case OperandKind::Imm:
+      return std::to_string(as_imm().value);
+    case OperandKind::Mem: {
+      const auto& m = as_mem();
+      std::string expr;
+      if (m.base) expr += reg_name(*m.base);
+      if (m.index) {
+        if (!expr.empty()) expr += " + ";
+        expr += reg_name(*m.index);
+        if (m.scale != 1) expr += "*" + std::to_string(int(m.scale));
+      }
+      if (m.disp != 0 || expr.empty()) {
+        if (expr.empty()) {
+          expr += std::to_string(m.disp);
+        } else if (m.disp >= 0) {
+          expr += " + " + std::to_string(m.disp);
+        } else {
+          expr += " - " + std::to_string(-m.disp);
+        }
+      }
+      return size_keyword(m.size_bits) + " ptr [" + expr + "]";
+    }
+  }
+  return "";
+}
+
+std::string size_keyword(std::uint16_t size_bits) {
+  switch (size_bits) {
+    case 8: return "byte";
+    case 16: return "word";
+    case 32: return "dword";
+    case 64: return "qword";
+    case 128: return "xmmword";
+    case 256: return "ymmword";
+    case 512: return "zmmword";
+    default:
+      throw std::invalid_argument("size_keyword: bad size " +
+                                  std::to_string(size_bits));
+  }
+}
+
+std::uint16_t parse_size_keyword(std::string_view kw) {
+  const auto s = util::to_lower(kw);
+  if (s == "byte") return 8;
+  if (s == "word") return 16;
+  if (s == "dword") return 32;
+  if (s == "qword") return 64;
+  if (s == "xmmword" || s == "oword") return 128;
+  if (s == "ymmword") return 256;
+  if (s == "zmmword") return 512;
+  return 0;
+}
+
+}  // namespace comet::x86

@@ -1,0 +1,253 @@
+#include "x86/parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <optional>
+
+#include "util/str.h"
+
+namespace comet::x86 {
+
+namespace {
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  s = util::trim(s);
+  if (s.empty()) return std::nullopt;
+  bool neg = false;
+  if (s.front() == '-' || s.front() == '+') {
+    neg = s.front() == '-';
+    s.remove_prefix(1);
+  }
+  if (s.empty()) return std::nullopt;
+  int base = 10;
+  if (util::starts_with(s, "0x") || util::starts_with(s, "0X")) {
+    base = 16;
+    s.remove_prefix(2);
+  }
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value, base);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return neg ? -value : value;
+}
+
+// Parse "[base + index*scale + disp]" contents (without the brackets).
+MemOperand parse_mem_expr(std::string_view expr) {
+  MemOperand mem;
+  // Tokenize on +/- while keeping the sign of each term.
+  std::vector<std::pair<int, std::string>> terms;  // (sign, term)
+  int sign = 1;
+  std::string cur;
+  for (char c : expr) {
+    if (c == '+' || c == '-') {
+      if (!util::trim(cur).empty()) {
+        terms.emplace_back(sign, std::string(util::trim(cur)));
+      }
+      sign = c == '-' ? -1 : 1;
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!util::trim(cur).empty()) {
+    terms.emplace_back(sign, std::string(util::trim(cur)));
+  }
+  if (terms.empty()) throw ParseError("empty memory expression");
+
+  for (const auto& [tsign, term] : terms) {
+    // index*scale or scale*index
+    const auto star = term.find('*');
+    if (star != std::string::npos) {
+      if (tsign < 0) throw ParseError("negative scaled index: " + term);
+      const auto lhs = std::string(util::trim(std::string_view(term).substr(0, star)));
+      const auto rhs = std::string(util::trim(std::string_view(term).substr(star + 1)));
+      auto reg = parse_reg(lhs);
+      auto scale = parse_int(rhs);
+      if (!reg) {
+        reg = parse_reg(rhs);
+        scale = parse_int(lhs);
+      }
+      if (!reg || !scale) throw ParseError("bad scaled index: " + term);
+      if (*scale != 1 && *scale != 2 && *scale != 4 && *scale != 8) {
+        throw ParseError("bad scale: " + term);
+      }
+      if (mem.index) throw ParseError("duplicate index: " + term);
+      mem.index = *reg;
+      mem.scale = static_cast<std::uint8_t>(*scale);
+      continue;
+    }
+    if (const auto reg = parse_reg(term)) {
+      if (tsign < 0) throw ParseError("negative register term: " + term);
+      if (!mem.base) {
+        mem.base = *reg;
+      } else if (!mem.index) {
+        mem.index = *reg;
+        mem.scale = 1;
+      } else {
+        throw ParseError("too many registers in memory operand: " + term);
+      }
+      continue;
+    }
+    if (const auto value = parse_int(term)) {
+      mem.disp += tsign * *value;
+      continue;
+    }
+    throw ParseError("bad memory term: " + term);
+  }
+  if (mem.base && mem.base->width_bits != 64) {
+    throw ParseError("memory base must be a 64-bit register");
+  }
+  if (mem.index && mem.index->width_bits != 64) {
+    throw ParseError("memory index must be a 64-bit register");
+  }
+  return mem;
+}
+
+// Parse one operand; memory size 0 means "infer later".
+Operand parse_operand(std::string_view text) {
+  text = util::trim(text);
+  if (text.empty()) throw ParseError("empty operand");
+
+  // Optional "<size> ptr [ ... ]".
+  std::uint16_t mem_size = 0;
+  {
+    const auto words = util::split_ws(text);
+    if (words.size() >= 2 && util::to_lower(words[1]) == "ptr") {
+      mem_size = parse_size_keyword(words[0]);
+      if (mem_size == 0) throw ParseError("bad size keyword: " + words[0]);
+      const auto pos = text.find("ptr");
+      text = util::trim(text.substr(pos + 3));
+    }
+  }
+  if (!text.empty() && text.front() == '[') {
+    if (text.back() != ']') throw ParseError("unterminated memory operand");
+    auto mem = parse_mem_expr(text.substr(1, text.size() - 2));
+    mem.size_bits = mem_size;  // possibly 0; fixed up by caller
+    return Operand::mem(mem);
+  }
+  if (mem_size != 0) throw ParseError("size keyword without memory operand");
+  if (const auto reg = parse_reg(text)) return Operand::reg(*reg);
+  if (const auto value = parse_int(text)) return Operand::imm(*value);
+  throw ParseError("unrecognized operand: " + std::string(text));
+}
+
+// Infer a missing memory-operand size from sibling register operands or,
+// for lea, from the destination register.
+void fixup_mem_size(Instruction& inst) {
+  for (auto& op : inst.operands) {
+    if (!op.is_mem() || op.as_mem().size_bits != 0) continue;
+    std::uint16_t inferred = 0;
+    if (inst.opcode == Opcode::LEA && !inst.operands.empty() &&
+        inst.operands[0].is_reg()) {
+      inferred = inst.operands[0].as_reg().width_bits;
+    } else {
+      for (const auto& other : inst.operands) {
+        if (other.is_reg()) {
+          inferred = other.as_reg().width_bits;
+          break;
+        }
+      }
+      // Scalar FP memory operands take the element width, not 128.
+      if (inferred == 128 || inferred == 256) {
+        switch (inst.opcode) {
+          case Opcode::MOVSS: case Opcode::ADDSS: case Opcode::SUBSS:
+          case Opcode::MULSS: case Opcode::DIVSS: case Opcode::SQRTSS:
+          case Opcode::MINSS: case Opcode::MAXSS: case Opcode::UCOMISS:
+          case Opcode::VMOVSS: case Opcode::VADDSS: case Opcode::VSUBSS:
+          case Opcode::VMULSS: case Opcode::VDIVSS: case Opcode::VSQRTSS:
+          case Opcode::VFMADD231SS: case Opcode::CVTTSS2SI:
+            inferred = 32;
+            break;
+          case Opcode::MOVSD: case Opcode::ADDSD: case Opcode::SUBSD:
+          case Opcode::MULSD: case Opcode::DIVSD: case Opcode::SQRTSD:
+          case Opcode::MINSD: case Opcode::MAXSD: case Opcode::UCOMISD:
+          case Opcode::VMOVSD: case Opcode::VADDSD: case Opcode::VSUBSD:
+          case Opcode::VMULSD: case Opcode::VDIVSD: case Opcode::VSQRTSD:
+          case Opcode::VFMADD231SD: case Opcode::CVTTSD2SI:
+            inferred = 64;
+            break;
+          default:
+            break;  // packed op: keep the register width
+        }
+      }
+    }
+    if (inferred == 0) inferred = 64;
+    op.as_mem().size_bits = inferred;
+  }
+}
+
+}  // namespace
+
+Instruction parse_instruction(std::string_view line) {
+  line = util::trim(line);
+  if (line.empty()) throw ParseError("empty instruction");
+
+  // Split mnemonic from operand list at the first whitespace.
+  std::size_t sp = 0;
+  while (sp < line.size() &&
+         !std::isspace(static_cast<unsigned char>(line[sp]))) {
+    ++sp;
+  }
+  const auto mn = line.substr(0, sp);
+  const auto rest = util::trim(line.substr(sp));
+
+  const auto opcode = parse_opcode(mn);
+  if (!opcode) throw ParseError("unknown mnemonic: " + std::string(mn));
+
+  Instruction inst;
+  inst.opcode = *opcode;
+  if (!rest.empty()) {
+    // Split on commas outside brackets.
+    std::vector<std::string> parts;
+    int depth = 0;
+    std::string cur;
+    for (char c : rest) {
+      if (c == '[') ++depth;
+      if (c == ']') --depth;
+      if (c == ',' && depth == 0) {
+        parts.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    parts.push_back(cur);
+    for (const auto& p : parts) inst.operands.push_back(parse_operand(p));
+  }
+  fixup_mem_size(inst);
+  if (!is_valid(inst)) {
+    throw ParseError("instruction does not match any signature: " +
+                     inst.to_string());
+  }
+  return inst;
+}
+
+BasicBlock parse_block(std::string_view text) {
+  BasicBlock block;
+  for (const auto& raw_line : util::split(text, '\n')) {
+    std::string_view line = raw_line;
+    // Strip comments.
+    for (char marker : {';', '#'}) {
+      const auto pos = line.find(marker);
+      if (pos != std::string_view::npos) line = line.substr(0, pos);
+    }
+    line = util::trim(line);
+    if (line.empty()) continue;
+    // Strip a leading "N:"-style listing number.
+    {
+      std::size_t i = 0;
+      while (i < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[i]))) {
+        ++i;
+      }
+      if (i > 0 && i < line.size() && line[i] == ':') {
+        line = util::trim(line.substr(i + 1));
+      }
+    }
+    if (line.empty()) continue;
+    block.instructions.push_back(parse_instruction(line));
+  }
+  return block;
+}
+
+}  // namespace comet::x86

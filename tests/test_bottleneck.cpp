@@ -1,0 +1,152 @@
+// Tests for the uiCA-style bottleneck analysis: bound computation, binding
+// classification on blocks engineered to stress each resource, stall
+// attribution sanity, and report rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/bottleneck.h"
+#include "x86/parser.h"
+
+namespace cs = comet::sim;
+namespace cx = comet::x86;
+using comet::cost::MicroArch;
+
+namespace {
+
+// Eight independent uops spread across ALU (6/4 ports = 1.5 cyc) and load
+// (2/2 ports = 1.0 cyc) pipes: no port reaches the 8/4 = 2.0-cycle
+// front-end bound, so issue width binds.
+cx::BasicBlock frontend_block() {
+  return cx::parse_block(R"(
+    add rax, 1
+    add rbx, 1
+    add rcx, 1
+    add rdx, 1
+    add rsi, 1
+    add rdi, 1
+    mov r8, qword ptr [rbp]
+    mov r9, qword ptr [rsp + 16]
+  )");
+}
+
+// Two stores: the store-data port (p4) takes 2 cycles per iteration while
+// only 7 uops hit the 4-wide front-end.
+cx::BasicBlock store_block() {
+  return cx::parse_block(R"(
+    mov qword ptr [rdi], rax
+    mov qword ptr [rsi + 8], rbx
+    add rcx, 1
+  )");
+}
+
+// A loop-carried divide chain: rax feeds div which writes rax.
+cx::BasicBlock div_chain_block() {
+  return cx::parse_block(R"(
+    add rax, rbx
+    div rcx
+  )");
+}
+
+}  // namespace
+
+TEST(Bottleneck, EmptyBlockYieldsEmptyReport) {
+  const auto r = cs::analyze_bottleneck({}, MicroArch::Haswell);
+  EXPECT_EQ(r.throughput, 0.0);
+  EXPECT_TRUE(r.stalls.empty());
+}
+
+TEST(Bottleneck, FrontEndBoundBlock) {
+  const auto r = cs::analyze_bottleneck(frontend_block(), MicroArch::Haswell);
+  // 6 ALU + 2 load-movs = 10 fused-domain uops over a 4-wide front-end.
+  EXPECT_EQ(r.kind, cs::BottleneckKind::FrontEnd);
+  EXPECT_NEAR(r.frontend_bound, 2.5, 1e-9);
+  EXPECT_NEAR(r.throughput, 2.5, 0.3);
+}
+
+TEST(Bottleneck, StoreBlockBindsOnStoreDataPort) {
+  const auto r = cs::analyze_bottleneck(store_block(), MicroArch::Haswell);
+  EXPECT_EQ(r.kind, cs::BottleneckKind::Ports);
+  EXPECT_EQ(r.busiest_port, 4);  // store-data port
+  EXPECT_NEAR(r.port_bound, 2.0, 0.2);
+}
+
+TEST(Bottleneck, DivChainBindsOnDependency) {
+  const auto r = cs::analyze_bottleneck(div_chain_block(), MicroArch::Haswell);
+  EXPECT_EQ(r.kind, cs::BottleneckKind::Dependency);
+  EXPECT_GT(r.dependency_bound, 10.0);  // div latency dominates
+  // The div (index 1) must be flagged critical.
+  EXPECT_NE(std::find(r.critical_instructions.begin(),
+                      r.critical_instructions.end(), 1u),
+            r.critical_instructions.end());
+}
+
+TEST(Bottleneck, ThroughputRespectsFrontEndBound) {
+  for (const auto& block :
+       {frontend_block(), store_block(), div_chain_block()}) {
+    const auto r = cs::analyze_bottleneck(block, MicroArch::Skylake);
+    EXPECT_GE(r.throughput + 0.15, r.frontend_bound) << block.to_string();
+  }
+}
+
+TEST(Bottleneck, DependencyBoundNeverExceedsThroughputMuch) {
+  // Removing port contention can only speed the block up.
+  for (const auto& block :
+       {frontend_block(), store_block(), div_chain_block()}) {
+    const auto r = cs::analyze_bottleneck(block, MicroArch::Haswell);
+    EXPECT_LE(r.dependency_bound, r.throughput + 0.15) << block.to_string();
+  }
+}
+
+TEST(Bottleneck, StallFractionsSumToOne) {
+  const auto r = cs::analyze_bottleneck(store_block(), MicroArch::Haswell);
+  for (const auto& s : r.stalls) {
+    EXPECT_NEAR(s.frontend_frac + s.dependency_frac + s.port_frac, 1.0, 1e-9)
+        << s.text;
+  }
+}
+
+TEST(Bottleneck, PortPressureIsNonNegativeAndPeaksAtBusiest) {
+  const auto r = cs::analyze_bottleneck(store_block(), MicroArch::Haswell);
+  double max_seen = 0;
+  for (double p : r.port_pressure) {
+    EXPECT_GE(p, 0.0);
+    max_seen = std::max(max_seen, p);
+  }
+  EXPECT_DOUBLE_EQ(max_seen, r.port_bound);
+}
+
+TEST(Bottleneck, DeterministicAcrossCalls) {
+  const auto a = cs::analyze_bottleneck(div_chain_block(), MicroArch::Haswell);
+  const auto b = cs::analyze_bottleneck(div_chain_block(), MicroArch::Haswell);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.critical_instructions, b.critical_instructions);
+}
+
+TEST(Bottleneck, ReportRendersAllSections) {
+  const auto r = cs::analyze_bottleneck(store_block(), MicroArch::Haswell);
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("throughput:"), std::string::npos);
+  EXPECT_NE(s.find("bottleneck:"), std::string::npos);
+  EXPECT_NE(s.find("port pressure"), std::string::npos);
+  EXPECT_NE(s.find("mov"), std::string::npos);
+}
+
+TEST(Bottleneck, KindNamesAreStable) {
+  EXPECT_EQ(cs::bottleneck_kind_name(cs::BottleneckKind::FrontEnd),
+            "front-end");
+  EXPECT_EQ(cs::bottleneck_kind_name(cs::BottleneckKind::Ports), "ports");
+  EXPECT_EQ(cs::bottleneck_kind_name(cs::BottleneckKind::Dependency),
+            "dependency");
+}
+
+TEST(Bottleneck, SimTraceUopAccounting) {
+  cs::SimTrace trace;
+  cs::SimOptions opt;
+  cs::simulate_throughput(store_block(), MicroArch::Haswell, opt, &trace);
+  // mov [mem], reg = 3 uops each (compute + store-addr + store-data);
+  // add = 1 uop.
+  EXPECT_EQ(trace.uops_per_iteration, 3 + 3 + 1);
+  EXPECT_GT(trace.window_iterations, 0);
+}

@@ -1,0 +1,161 @@
+// Tests for the differential cost-model analysis: disagreement detection,
+// ranking, explanation pass, feature-type aggregation, and rendering.
+#include <gtest/gtest.h>
+
+#include "bhive/dataset.h"
+#include "cost/crude_model.h"
+#include "diff/diff.h"
+#include "x86/parser.h"
+
+namespace cd = comet::diff;
+namespace cc = comet::cost;
+namespace cx = comet::x86;
+
+namespace {
+
+/// Coarse model: only looks at the instruction count. One cycle per
+/// instruction, so ±1 instruction moves the prediction by a full cycle —
+/// beyond COMET's default ε = 0.5 — and η is strongly identified.
+class EtaOnlyModel final : public cc::CostModel {
+ public:
+  double predict(const cx::BasicBlock& block) const override {
+    return double(block.size());
+  }
+  std::string name() const override { return "eta-only"; }
+};
+
+std::vector<cx::BasicBlock> corpus(std::size_t n = 120) {
+  comet::bhive::DatasetOptions opts;
+  opts.size = n;
+  opts.seed = 99;
+  return comet::bhive::generate_dataset(opts).block_views();
+}
+
+cd::DiffOptions fast_options(bool explain = true) {
+  cd::DiffOptions o;
+  o.top_k = 4;
+  o.explain = explain;
+  // Slim COMET budgets: the test asserts structure, not tight estimates.
+  o.comet.coverage_samples = 200;
+  o.comet.final_precision_samples = 50;
+  o.comet.max_pulls_per_level = 40;
+  o.comet.epsilon = 0.5;
+  return o;
+}
+
+}  // namespace
+
+TEST(Diff, IdenticalModelsProduceNoDisagreements) {
+  const cc::CrudeModel crude(cc::MicroArch::Haswell);
+  const auto s =
+      cd::analyze_disagreements(crude, crude, corpus(60), fast_options(false));
+  EXPECT_EQ(s.disagreements, 0u);
+  EXPECT_TRUE(s.top.empty());
+  EXPECT_EQ(s.blocks_scanned, 60u);
+}
+
+TEST(Diff, CrudeVsEtaOnlyDisagreesOnExpensiveBlocks) {
+  const cc::CrudeModel crude(cc::MicroArch::Haswell);
+  const EtaOnlyModel eta;
+  const auto s =
+      cd::analyze_disagreements(crude, eta, corpus(), fast_options(false));
+  EXPECT_GT(s.disagreements, 0u);
+  // The largest gap separates the two models' views of some block: either
+  // a crude-model bottleneck (div / RAW chain) far above the count, or a
+  // cheap wide block the per-instruction model overprices.
+  ASSERT_FALSE(s.top.empty());
+  EXPECT_GE(s.top.front().rel_gap, 0.25);
+  EXPECT_GT(s.top.front().pred_a, 0.0);
+  EXPECT_GT(s.top.front().pred_b, 0.0);
+}
+
+TEST(Diff, RankingIsDescendingByGap) {
+  const cc::CrudeModel crude(cc::MicroArch::Haswell);
+  const EtaOnlyModel eta;
+  auto opts = fast_options(false);
+  opts.top_k = 20;
+  const auto s = cd::analyze_disagreements(crude, eta, corpus(), opts);
+  for (std::size_t i = 1; i < s.top.size(); ++i) {
+    EXPECT_GE(s.top[i - 1].rel_gap, s.top[i].rel_gap);
+  }
+}
+
+TEST(Diff, MinRelGapFiltersSmallDisagreements) {
+  const cc::CrudeModel crude(cc::MicroArch::Haswell);
+  const EtaOnlyModel eta;
+  auto strict = fast_options(false);
+  strict.min_rel_gap = 5.0;
+  auto loose = fast_options(false);
+  loose.min_rel_gap = 0.05;
+  const auto blocks = corpus();
+  const auto s_strict = cd::analyze_disagreements(crude, eta, blocks, strict);
+  const auto s_loose = cd::analyze_disagreements(crude, eta, blocks, loose);
+  EXPECT_LE(s_strict.disagreements, s_loose.disagreements);
+  for (const auto& d : s_strict.top) EXPECT_GE(d.rel_gap, 5.0);
+}
+
+TEST(Diff, TopKCapsExplainedSet) {
+  const cc::CrudeModel crude(cc::MicroArch::Haswell);
+  const EtaOnlyModel eta;
+  auto opts = fast_options(false);
+  opts.top_k = 3;
+  const auto s = cd::analyze_disagreements(crude, eta, corpus(), opts);
+  EXPECT_LE(s.top.size(), 3u);
+}
+
+TEST(Diff, ExplainPassFillsBothSides) {
+  const cc::CrudeModel crude(cc::MicroArch::Haswell);
+  const EtaOnlyModel eta;
+  auto opts = fast_options(true);
+  opts.top_k = 2;
+  const auto s = cd::analyze_disagreements(crude, eta, corpus(80), opts);
+  ASSERT_FALSE(s.top.empty());
+  for (const auto& d : s.top) {
+    EXPECT_FALSE(d.expl_a.features.empty());
+    EXPECT_FALSE(d.expl_b.features.empty());
+  }
+}
+
+TEST(Diff, EtaOnlyModelExplanationsAreEtaDominated) {
+  // The coarse model's explanations on disagreement blocks should name η
+  // (its only input); the crude model's should skew to inst/dep features.
+  const cc::CrudeModel crude(cc::MicroArch::Haswell);
+  const EtaOnlyModel eta;
+  auto opts = fast_options(true);
+  opts.top_k = 5;
+  const auto s = cd::analyze_disagreements(crude, eta, corpus(80), opts);
+  ASSERT_FALSE(s.top.empty());
+  EXPECT_GE(s.profile_b.pct_num_insts, 50.0);
+  EXPECT_GE(s.profile_a.pct_inst + s.profile_a.pct_dep,
+            s.profile_a.pct_num_insts);
+}
+
+TEST(Diff, SkippedExplainLeavesProfilesZero) {
+  const cc::CrudeModel crude(cc::MicroArch::Haswell);
+  const EtaOnlyModel eta;
+  const auto s =
+      cd::analyze_disagreements(crude, eta, corpus(60), fast_options(false));
+  EXPECT_EQ(s.profile_a.pct_num_insts, 0.0);
+  EXPECT_EQ(s.profile_b.pct_inst, 0.0);
+}
+
+TEST(Diff, EmptyCorpusIsHarmless) {
+  const cc::CrudeModel crude(cc::MicroArch::Haswell);
+  const EtaOnlyModel eta;
+  const auto s = cd::analyze_disagreements(crude, eta, {}, fast_options());
+  EXPECT_EQ(s.blocks_scanned, 0u);
+  EXPECT_TRUE(s.top.empty());
+}
+
+TEST(Diff, RenderContainsRankedRowsAndProfiles) {
+  const cc::CrudeModel crude(cc::MicroArch::Haswell);
+  const EtaOnlyModel eta;
+  auto opts = fast_options(true);
+  opts.top_k = 2;
+  const auto s = cd::analyze_disagreements(crude, eta, corpus(60), opts);
+  const std::string out = s.to_string("crude", "eta-only");
+  EXPECT_NE(out.find("disagreements"), std::string::npos);
+  EXPECT_NE(out.find("crude"), std::string::npos);
+  EXPECT_NE(out.find("eta-only"), std::string::npos);
+  EXPECT_NE(out.find("% eta"), std::string::npos);
+}

@@ -1,0 +1,168 @@
+// Tests for the evaluation harness and baselines (paper Section 6): the
+// accuracy criterion's exact semantics, baseline calibration, the
+// end-to-end accuracy experiment's ordering (COMET > fixed > random), the
+// analyze_model statistics, and the cheap model-zoo constructions.
+#include <gtest/gtest.h>
+
+#include "bhive/dataset.h"
+#include "core/baselines.h"
+#include "core/eval.h"
+#include "core/model_zoo.h"
+#include "x86/parser.h"
+
+namespace cc = comet::core;
+namespace cg = comet::graph;
+namespace cx = comet::x86;
+using comet::cost::MicroArch;
+
+namespace {
+
+cg::Feature inst_f(std::size_t i, cx::Opcode op) {
+  return cg::Feature(cg::InstFeature{i, op});
+}
+cg::Feature eta_f(std::size_t n) {
+  return cg::Feature(cg::NumInstsFeature{n});
+}
+
+cg::FeatureSet set_of(std::initializer_list<cg::Feature> fs) {
+  cg::FeatureSet s;
+  for (const auto& f : fs) s.insert(f);
+  return s;
+}
+
+}  // namespace
+
+// ---------- accuracy criterion (eq. 9 + Section 6 definition) ----------
+
+TEST(EvalCriterion, SubsetOfGroundTruthIsAccurate) {
+  const auto gt = set_of({inst_f(0, cx::Opcode::DIV), eta_f(5)});
+  EXPECT_TRUE(cc::explanation_accurate(set_of({inst_f(0, cx::Opcode::DIV)}),
+                                       gt));
+  EXPECT_TRUE(cc::explanation_accurate(gt, gt));
+}
+
+TEST(EvalCriterion, EmptyExplanationIsInaccurate) {
+  const auto gt = set_of({eta_f(4)});
+  EXPECT_FALSE(cc::explanation_accurate({}, gt));
+}
+
+TEST(EvalCriterion, AnyFeatureOutsideGtIsInaccurate) {
+  const auto gt = set_of({inst_f(0, cx::Opcode::DIV)});
+  const auto expl = set_of({inst_f(0, cx::Opcode::DIV), eta_f(3)});
+  EXPECT_FALSE(cc::explanation_accurate(expl, gt));
+}
+
+// ---------- summarize ----------
+
+TEST(EvalSummarize, MeanAndStd) {
+  const auto ms = cc::summarize({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 4.0);
+  EXPECT_NEAR(ms.std, 2.0, 1e-12);
+}
+
+// ---------- baselines ----------
+
+TEST(EvalBaselines, FrequenciesTrackGroundTruthTypes) {
+  cc::FeatureTypeFrequencies freqs;
+  freqs.add(set_of({inst_f(0, cx::Opcode::DIV)}));
+  freqs.add(set_of({inst_f(1, cx::Opcode::MUL), eta_f(4)}));
+  freqs.add(set_of({inst_f(2, cx::Opcode::ADD)}));
+  EXPECT_DOUBLE_EQ(freqs.total(), 4.0);
+  EXPECT_EQ(freqs.most_frequent(), cg::FeatureType::Inst);
+}
+
+TEST(EvalBaselines, FixedBaselineEmitsFirstFeatureOfDominantType) {
+  cc::FeatureTypeFrequencies freqs;
+  freqs.add(set_of({inst_f(0, cx::Opcode::DIV)}));
+  const cc::FixedBaseline fixed(freqs);
+  const auto block = cx::parse_block("add rax, rbx\ndiv rcx");
+  const auto e = fixed.explain(block);
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_TRUE(e.items()[0].is_inst());
+  EXPECT_EQ(e.items()[0].as_inst().index, 0u);
+}
+
+TEST(EvalBaselines, RandomBaselineEmitsOneFeatureOfTheBlock) {
+  cc::FeatureTypeFrequencies freqs;
+  freqs.add(set_of({inst_f(0, cx::Opcode::DIV), eta_f(2)}));
+  cc::RandomBaseline random(freqs, 7);
+  const auto block = cx::parse_block("add rcx, rax\nmov rdx, rcx");
+  const auto all = cg::extract_features(block);
+  for (int k = 0; k < 20; ++k) {
+    const auto e = random.explain(block);
+    ASSERT_EQ(e.size(), 1u);
+    EXPECT_TRUE(all.contains(e.items()[0])) << e.to_string();
+  }
+}
+
+// ---------- end-to-end accuracy experiment ----------
+
+TEST(EvalExperiment, CometBeatsBaselinesOnCrudeModel) {
+  comet::bhive::DatasetOptions dopt;
+  dopt.size = 60;
+  dopt.seed = 501;
+  const auto ds = comet::bhive::generate_dataset(dopt);
+  const auto test = comet::bhive::explanation_test_set(ds, 20, 5);
+
+  const comet::cost::CrudeModel model(MicroArch::Haswell);
+  cc::CometOptions opt;
+  opt.epsilon = 0.25;
+  opt.coverage_samples = 300;
+  const auto r = cc::run_accuracy_experiment(model, test, opt, 1);
+  EXPECT_GT(r.comet_pct, r.fixed_pct);
+  EXPECT_GT(r.comet_pct, r.random_pct);
+  EXPECT_GE(r.comet_pct, 80.0);
+}
+
+TEST(EvalExperiment, AnalyzeModelStatsAreWellFormed) {
+  comet::bhive::DatasetOptions dopt;
+  dopt.size = 40;
+  dopt.seed = 502;
+  const auto ds = comet::bhive::generate_dataset(dopt);
+  const auto test = comet::bhive::explanation_test_set(ds, 8, 3);
+
+  const auto uica =
+      cc::make_model(cc::ModelKind::UiCA, MicroArch::Haswell);
+  cc::CometOptions opt;
+  opt.epsilon = 0.5;
+  opt.coverage_samples = 200;
+  const auto stats =
+      cc::analyze_model(*uica, MicroArch::Haswell, test, opt, 40, 200, 9);
+  EXPECT_EQ(stats.blocks, 8u);
+  EXPECT_GE(stats.avg_precision, 0.0);
+  EXPECT_LE(stats.avg_precision, 1.0);
+  EXPECT_GE(stats.avg_coverage, 0.0);
+  EXPECT_LE(stats.avg_coverage, 1.0);
+  EXPECT_GE(stats.mape, 0.0);
+  EXPECT_LE(stats.pct_with_num_insts, 100.0);
+  EXPECT_LE(stats.pct_with_inst, 100.0);
+  EXPECT_LE(stats.pct_with_dep, 100.0);
+}
+
+// ---------- model zoo (cheap kinds only; neural kinds train) ----------
+
+TEST(EvalZoo, CheapModelsConstructAndPredict) {
+  const auto block = cx::parse_block("add rcx, rax\nmov rdx, rcx");
+  for (const auto kind : {cc::ModelKind::UiCA, cc::ModelKind::Oracle,
+                          cc::ModelKind::Mca, cc::ModelKind::Crude}) {
+    for (const auto uarch : {MicroArch::Haswell, MicroArch::Skylake}) {
+      const auto model = cc::make_model(kind, uarch);
+      ASSERT_NE(model, nullptr);
+      EXPECT_GT(model->predict(block), 0.0) << model->name();
+      EXPECT_FALSE(model->name().empty());
+    }
+  }
+}
+
+TEST(EvalZoo, ZooDatasetIsCanonicalAndStable) {
+  const auto& a = cc::zoo_dataset();
+  const auto& b = cc::zoo_dataset();
+  EXPECT_EQ(&a, &b);  // one instance per process
+  EXPECT_EQ(a.size(), 3000u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_GE(a[i].block.size(), 4u);
+    EXPECT_LE(a[i].block.size(), 10u);
+    EXPECT_GT(a[i].measured_hsw, 0.0);
+    EXPECT_GT(a[i].measured_skl, 0.0);
+  }
+}

@@ -1,0 +1,122 @@
+// Tests for perturbation-consistency fine-tuning: error improvement,
+// sample accounting, determinism, and model-genericity (works for both
+// neural surrogates through the same template).
+#include <gtest/gtest.h>
+
+#include "bhive/dataset.h"
+#include "cost/finetune.h"
+#include "cost/granite_model.h"
+#include "cost/ithemal_model.h"
+#include "sim/models.h"
+
+namespace cc = comet::cost;
+namespace cb = comet::bhive;
+
+namespace {
+
+cb::Dataset data() {
+  cb::DatasetOptions opts;
+  opts.size = 150;
+  opts.seed = 31;
+  return cb::generate_dataset(opts);
+}
+
+cc::IthemalConfig warm_config() {
+  cc::IthemalConfig cfg;
+  cfg.epochs = 1;  // warm start only: leave room for fine-tuning gains
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Finetune, ImprovesWarmStartedIthemal) {
+  const auto ds = data();
+  const auto blocks = ds.block_views();
+  const auto targets = ds.label_views(cc::MicroArch::Haswell);
+  cc::IthemalModel model(cc::MicroArch::Haswell, warm_config());
+  model.train(blocks, targets);
+
+  const comet::sim::HardwareOracle oracle(cc::MicroArch::Haswell);
+  cc::FinetuneOptions opts;
+  opts.rounds = 2;
+  opts.perturbations_per_block = 4;
+  const auto r =
+      cc::finetune_with_perturbations(model, blocks, targets, oracle, opts);
+  EXPECT_GT(r.mape_before, 0.0);
+  EXPECT_LT(r.mape_after, r.mape_before);
+}
+
+TEST(Finetune, AugmentedSampleAccounting) {
+  const auto ds = data();
+  const auto blocks = ds.block_views();
+  const auto targets = ds.label_views(cc::MicroArch::Haswell);
+  cc::IthemalModel model(cc::MicroArch::Haswell, warm_config());
+
+  const comet::sim::HardwareOracle oracle(cc::MicroArch::Haswell);
+  cc::FinetuneOptions opts;
+  opts.rounds = 1;
+  opts.perturbations_per_block = 3;
+  const auto r =
+      cc::finetune_with_perturbations(model, blocks, targets, oracle, opts);
+  // Every perturbation of a non-empty block with a positive oracle label
+  // counts; deletions can empty a block, so <= is the invariant.
+  EXPECT_LE(r.augmented_samples, blocks.size() * 3);
+  EXPECT_GT(r.augmented_samples, blocks.size());  // most samples survive
+}
+
+TEST(Finetune, DeterministicForFixedSeed) {
+  const auto ds = data();
+  const auto blocks = ds.block_views();
+  const auto targets = ds.label_views(cc::MicroArch::Haswell);
+  const comet::sim::HardwareOracle oracle(cc::MicroArch::Haswell);
+
+  cc::FinetuneOptions opts;
+  opts.rounds = 1;
+  opts.perturbations_per_block = 2;
+
+  cc::IthemalModel a(cc::MicroArch::Haswell, warm_config());
+  cc::IthemalModel b(cc::MicroArch::Haswell, warm_config());
+  const auto ra =
+      cc::finetune_with_perturbations(a, blocks, targets, oracle, opts);
+  const auto rb =
+      cc::finetune_with_perturbations(b, blocks, targets, oracle, opts);
+  EXPECT_DOUBLE_EQ(ra.mape_after, rb.mape_after);
+  EXPECT_EQ(ra.augmented_samples, rb.augmented_samples);
+  EXPECT_DOUBLE_EQ(a.predict(blocks[0]), b.predict(blocks[0]));
+}
+
+TEST(Finetune, WorksWithGraniteModel) {
+  const auto ds = data();
+  const auto blocks = ds.block_views();
+  const auto targets = ds.label_views(cc::MicroArch::Skylake);
+  cc::GraniteConfig cfg;
+  cfg.epochs = 1;
+  cc::GraniteModel model(cc::MicroArch::Skylake, cfg);
+  model.train(blocks, targets);
+
+  const comet::sim::HardwareOracle oracle(cc::MicroArch::Skylake);
+  cc::FinetuneOptions opts;
+  opts.rounds = 1;
+  opts.perturbations_per_block = 3;
+  const auto r =
+      cc::finetune_with_perturbations(model, blocks, targets, oracle, opts);
+  EXPECT_GT(r.augmented_samples, 0u);
+  EXPECT_LT(r.mape_after, r.mape_before * 1.2);  // no catastrophic drift
+}
+
+TEST(Finetune, NoRoundsIsIdentity) {
+  const auto ds = data();
+  const auto blocks = ds.block_views();
+  const auto targets = ds.label_views(cc::MicroArch::Haswell);
+  cc::IthemalModel model(cc::MicroArch::Haswell, warm_config());
+  const double before = model.predict(blocks[0]);
+
+  const comet::sim::HardwareOracle oracle(cc::MicroArch::Haswell);
+  cc::FinetuneOptions opts;
+  opts.rounds = 0;
+  const auto r =
+      cc::finetune_with_perturbations(model, blocks, targets, oracle, opts);
+  EXPECT_EQ(r.augmented_samples, 0u);
+  EXPECT_DOUBLE_EQ(r.mape_before, r.mape_after);
+  EXPECT_DOUBLE_EQ(model.predict(blocks[0]), before);
+}

@@ -1,0 +1,162 @@
+// Tests for the Granite-style GNN cost model: prediction sanity, relation
+// construction, training behaviour, serialization, and its fit behind the
+// model-agnostic CostModel interface.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bhive/dataset.h"
+#include "cost/granite_model.h"
+#include "x86/parser.h"
+
+namespace cc = comet::cost;
+namespace cb = comet::bhive;
+namespace cx = comet::x86;
+
+namespace {
+
+cx::BasicBlock paper_block() {
+  return cx::parse_block(R"(
+    add rcx, rax
+    mov rdx, rcx
+    pop rbx
+  )");
+}
+
+cb::Dataset small_dataset() {
+  cb::DatasetOptions opts;
+  opts.size = 250;
+  opts.seed = 77;
+  return cb::generate_dataset(opts);
+}
+
+}  // namespace
+
+TEST(Granite, PredictsPositiveThroughput) {
+  cc::GraniteModel model(cc::MicroArch::Haswell);
+  EXPECT_GT(model.predict(paper_block()), 0.0);
+}
+
+TEST(Granite, EmptyBlockPredictsZero) {
+  cc::GraniteModel model(cc::MicroArch::Haswell);
+  EXPECT_EQ(model.predict(cx::BasicBlock{}), 0.0);
+}
+
+TEST(Granite, DeterministicPrediction) {
+  cc::GraniteModel model(cc::MicroArch::Haswell);
+  const auto block = paper_block();
+  EXPECT_DOUBLE_EQ(model.predict(block), model.predict(block));
+}
+
+TEST(Granite, UarchInstancesDiffer) {
+  // Per-microarchitecture instances start from different seeds, as in the
+  // paper (one Ithemal/Granite per microarchitecture).
+  cc::GraniteModel hsw(cc::MicroArch::Haswell);
+  cc::GraniteModel skl(cc::MicroArch::Skylake);
+  EXPECT_NE(hsw.predict(paper_block()), skl.predict(paper_block()));
+  EXPECT_EQ(hsw.name(), "granite-HSW");
+  EXPECT_EQ(skl.name(), "granite-SKL");
+}
+
+TEST(Granite, PredictionDependsOnDependencyStructure) {
+  // Same multiset of instructions, different dependency graph. A graph
+  // model (even untrained) must read the edge structure: the two blocks
+  // produce different node messages.
+  const auto chained = cx::parse_block("add rax, rbx\nadd rcx, rax");
+  const auto parallel = cx::parse_block("add rax, rbx\nadd rcx, rdx");
+  cc::GraniteModel model(cc::MicroArch::Haswell);
+  EXPECT_NE(model.predict(chained), model.predict(parallel));
+}
+
+TEST(Granite, TrainingReducesError) {
+  const auto data = small_dataset();
+  cc::GraniteConfig cfg;
+  cfg.epochs = 3;
+  cc::GraniteModel model(cc::MicroArch::Haswell, cfg);
+
+  const auto blocks = data.block_views();
+  const auto targets = data.label_views(cc::MicroArch::Haswell);
+
+  // MAPE before training (random weights).
+  double before = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    before += std::abs(model.predict(blocks[i]) - targets[i]) / targets[i];
+  }
+  before /= double(blocks.size());
+
+  const double after = model.train(blocks, targets) / 100.0;
+  EXPECT_LT(after, before);
+  EXPECT_LT(after, 0.35);  // fits the small training set reasonably
+}
+
+TEST(Granite, SaveLoadRoundTrip) {
+  const auto tmp = std::filesystem::temp_directory_path() /
+                   "comet_granite_roundtrip.bin";
+  cc::GraniteModel a(cc::MicroArch::Haswell);
+  const auto data = small_dataset();
+  const auto blocks = data.block_views();
+  const auto targets = data.label_views(cc::MicroArch::Haswell);
+  // A few steps so weights differ from initialization.
+  for (std::size_t i = 0; i < 10; ++i) a.train_step(blocks[i], targets[i]);
+  a.save(tmp);
+
+  cc::GraniteModel b(cc::MicroArch::Haswell);
+  ASSERT_TRUE(b.load(tmp));
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(a.predict(blocks[i]), b.predict(blocks[i]));
+  }
+  std::filesystem::remove(tmp);
+}
+
+TEST(Granite, LoadRejectsWrongMagic) {
+  const auto tmp =
+      std::filesystem::temp_directory_path() / "comet_granite_bad.bin";
+  std::FILE* fp = std::fopen(tmp.string().c_str(), "wb");
+  ASSERT_NE(fp, nullptr);
+  const std::uint32_t bogus = 0xDEADBEEF;
+  std::fwrite(&bogus, sizeof(bogus), 1, fp);
+  std::fclose(fp);
+  cc::GraniteModel model(cc::MicroArch::Haswell);
+  EXPECT_FALSE(model.load(tmp));
+  std::filesystem::remove(tmp);
+}
+
+TEST(Granite, LoadMissingFileReturnsFalse) {
+  cc::GraniteModel model(cc::MicroArch::Haswell);
+  EXPECT_FALSE(model.load("/nonexistent/path/weights.bin"));
+}
+
+TEST(Granite, TrainOrLoadUsesCache) {
+  const auto tmp =
+      std::filesystem::temp_directory_path() / "comet_granite_cache.bin";
+  std::filesystem::remove(tmp);
+  const auto data = small_dataset();
+  const auto blocks = data.block_views();
+  const auto targets = data.label_views(cc::MicroArch::Haswell);
+
+  cc::GraniteConfig cfg;
+  cfg.epochs = 1;
+  cc::GraniteModel a(cc::MicroArch::Haswell, cfg);
+  const double mape = a.train_or_load(tmp, blocks, targets);
+  EXPECT_GT(mape, 0.0);  // actually trained
+
+  cc::GraniteModel b(cc::MicroArch::Haswell, cfg);
+  EXPECT_EQ(b.train_or_load(tmp, blocks, targets), 0.0);  // loaded
+  EXPECT_DOUBLE_EQ(a.predict(blocks[0]), b.predict(blocks[0]));
+  std::filesystem::remove(tmp);
+}
+
+TEST(Granite, TrainSizeMismatchThrows) {
+  cc::GraniteModel model(cc::MicroArch::Haswell);
+  EXPECT_THROW(model.train({paper_block()}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Granite, BehindCostModelInterface) {
+  // COMET consumes models through the CostModel base only.
+  cc::GraniteModel model(cc::MicroArch::Skylake);
+  const cc::CostModel& m = model;
+  EXPECT_GT(m.predict(paper_block()), 0.0);
+  EXPECT_FALSE(m.name().empty());
+}

@@ -1,0 +1,207 @@
+// Integration tests across modules: dataset -> perturbation -> explanation
+// -> evaluation, plus cross-module invariants checked over a generated
+// corpus (parameterized property suites).
+#include <gtest/gtest.h>
+
+#include "bhive/dataset.h"
+#include "bhive/paper_blocks.h"
+#include "core/eval.h"
+#include "core/model_zoo.h"
+#include "cost/crude_model.h"
+#include "perturb/perturber.h"
+#include "sim/models.h"
+#include "util/stats.h"
+
+namespace cb = comet::bhive;
+namespace cc = comet::core;
+namespace cg = comet::graph;
+namespace ck = comet::cost;
+namespace cp = comet::perturb;
+namespace cs = comet::sim;
+namespace cx = comet::x86;
+using comet::util::Rng;
+
+namespace {
+
+cb::Dataset small_dataset() {
+  cb::DatasetOptions opt;
+  opt.size = 120;
+  opt.seed = 4242;
+  return cb::generate_dataset(opt);
+}
+
+}  // namespace
+
+// ---------- end-to-end accuracy on the crude model ----------
+
+TEST(Integration, CometBeatsBaselinesOnCrudeModel) {
+  const auto dataset = small_dataset();
+  const auto test_set = cb::explanation_test_set(dataset, 30, 99);
+  const ck::CrudeModel model(ck::MicroArch::Haswell);
+  cc::CometOptions opt;
+  opt.epsilon = 0.25;
+  opt.coverage_samples = 400;
+  const auto r = cc::run_accuracy_experiment(model, test_set, opt, 1);
+  // Shape of paper Table 2: COMET far ahead of both baselines.
+  EXPECT_GT(r.comet_pct, r.fixed_pct);
+  EXPECT_GT(r.comet_pct, r.random_pct);
+  EXPECT_GE(r.comet_pct, 70.0);
+}
+
+TEST(Integration, AnalyzeModelProducesSaneRanges) {
+  const auto dataset = small_dataset();
+  const auto test_set = cb::explanation_test_set(dataset, 10, 7);
+  const cs::UiCASimModel model(ck::MicroArch::Haswell);
+  cc::CometOptions opt;
+  opt.epsilon = 0.5;
+  opt.coverage_samples = 300;
+  const auto stats = cc::analyze_model(model, ck::MicroArch::Haswell,
+                                       test_set, opt, 80, 300, 1);
+  EXPECT_EQ(stats.blocks, 10u);
+  EXPECT_GE(stats.avg_precision, 0.0);
+  EXPECT_LE(stats.avg_precision, 1.0);
+  EXPECT_GE(stats.avg_coverage, 0.0);
+  EXPECT_LE(stats.avg_coverage, 1.0);
+  EXPECT_GE(stats.mape, 0.0);
+  EXPECT_LE(stats.pct_with_num_insts, 100.0);
+  EXPECT_LE(stats.pct_with_inst, 100.0);
+  EXPECT_LE(stats.pct_with_dep, 100.0);
+}
+
+TEST(Integration, UicaMoreAccurateThanMcaOnDataset) {
+  const auto dataset = small_dataset();
+  const cs::UiCASimModel uica(ck::MicroArch::Haswell);
+  const cs::McaLikeModel mca(ck::MicroArch::Haswell);
+  std::vector<double> up, mp, act;
+  for (const auto& lb : dataset.blocks()) {
+    up.push_back(uica.predict(lb.block));
+    mp.push_back(mca.predict(lb.block));
+    act.push_back(lb.measured_hsw);
+  }
+  EXPECT_LT(comet::util::mape(up, act), comet::util::mape(mp, act));
+}
+
+TEST(Integration, ExplanationFeaturesComeFromVocabulary) {
+  const auto dataset = small_dataset();
+  const ck::CrudeModel model(ck::MicroArch::Haswell);
+  cc::CometOptions opt;
+  opt.epsilon = 0.25;
+  opt.coverage_samples = 200;
+  const cc::CometExplainer explainer(model, opt);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto& block = dataset[i].block;
+    const auto vocabulary = cg::extract_features(block);
+    const auto expl = explainer.explain(block);
+    EXPECT_FALSE(expl.features.empty());
+    EXPECT_TRUE(expl.features.is_subset_of(vocabulary))
+        << expl.features.to_string();
+  }
+}
+
+TEST(Integration, ModelZooConstructsAllCheapModels) {
+  for (const auto kind : {cc::ModelKind::UiCA, cc::ModelKind::Oracle,
+                          cc::ModelKind::Mca, cc::ModelKind::Crude}) {
+    for (const auto uarch :
+         {ck::MicroArch::Haswell, ck::MicroArch::Skylake}) {
+      const auto model = cc::make_model(kind, uarch);
+      ASSERT_NE(model, nullptr);
+      EXPECT_GT(model->predict(cb::listing1_motivating()), 0.0);
+    }
+  }
+}
+
+// ---------- property suites over a generated corpus ----------
+
+class CorpusProperty : public ::testing::TestWithParam<int> {
+ protected:
+  cx::BasicBlock block() const {
+    cb::BlockGenerator gen;
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    return gen.generate(rng);
+  }
+};
+
+TEST_P(CorpusProperty, PerturbationsAreAlwaysValid) {
+  const auto b = block();
+  const cp::Perturber perturber(b);
+  Rng rng(GetParam() * 31 + 7);
+  const auto vocabulary = cg::extract_features(b);
+  for (int i = 0; i < 40; ++i) {
+    // Unconstrained samples.
+    EXPECT_TRUE(cx::is_valid(perturber.sample(cg::FeatureSet{}, rng).block));
+    // Single-feature-preserving samples.
+    const auto& f = vocabulary.items()[rng.index(vocabulary.size())];
+    cg::FeatureSet fs;
+    fs.insert(f);
+    const auto s = perturber.sample(fs, rng);
+    EXPECT_TRUE(cx::is_valid(s.block));
+    EXPECT_TRUE(perturber.contains(s, fs))
+        << "feature " << f.to_string() << " lost in\n"
+        << s.block.to_string();
+  }
+}
+
+TEST_P(CorpusProperty, IdentityContainsAllItsFeatures) {
+  const auto b = block();
+  const cp::Perturber perturber(b);
+  cp::PerturbedBlock identity{b, {}};
+  for (std::size_t i = 0; i < b.size(); ++i) identity.orig_index.push_back(i);
+  const auto vocabulary = cg::extract_features(b);
+  EXPECT_TRUE(perturber.contains(identity, vocabulary));
+}
+
+TEST_P(CorpusProperty, SpaceSizeMonotoneUnderPreservation) {
+  const auto b = block();
+  const cp::Perturber perturber(b);
+  const auto vocabulary = cg::extract_features(b);
+  cg::FeatureSet acc;
+  double prev = perturber.log10_space_size(acc);
+  for (const auto& f : vocabulary.items()) {
+    acc.insert(f);
+    const double cur = perturber.log10_space_size(acc);
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST_P(CorpusProperty, SimulatorsAgreeOnOrderOfMagnitude) {
+  const auto b = block();
+  const cs::HardwareOracle oracle(ck::MicroArch::Haswell);
+  const cs::UiCASimModel uica(ck::MicroArch::Haswell);
+  const double o = oracle.predict(b);
+  const double u = uica.predict(b);
+  ASSERT_GT(o, 0.0);
+  EXPECT_LT(std::abs(o - u) / o, 0.6) << b.to_string();
+}
+
+TEST_P(CorpusProperty, CrudeModelGroundTruthNonEmptyAndAttained) {
+  const auto b = block();
+  const ck::CrudeModel model(ck::MicroArch::Haswell);
+  const auto gt = model.ground_truth(b);
+  EXPECT_FALSE(gt.empty());
+  // Every GT feature is in the block's vocabulary.
+  const auto vocabulary = cg::extract_features(b);
+  for (const auto& f : gt.items()) {
+    if (f.is_dep()) {
+      // Dep GT features may be collapsed representatives; check pair match.
+      bool found = false;
+      for (const auto& v : vocabulary.items()) {
+        found |= v.is_dep() && v.as_dep().from == f.as_dep().from &&
+                 v.as_dep().to == f.as_dep().to;
+      }
+      EXPECT_TRUE(found) << f.to_string();
+    } else {
+      EXPECT_TRUE(vocabulary.contains(f)) << f.to_string();
+    }
+  }
+}
+
+TEST_P(CorpusProperty, MeasurementNoiseWithinTwoPercent) {
+  const auto b = block();
+  const cs::HardwareOracle oracle(ck::MicroArch::Haswell);
+  const double o = oracle.predict(b);
+  const double m = cs::measured_throughput(b, ck::MicroArch::Haswell);
+  EXPECT_LE(std::abs(m - o) / o, 0.0201);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusProperty, ::testing::Range(1, 21));

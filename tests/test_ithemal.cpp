@@ -1,0 +1,200 @@
+// Tests for the Ithemal surrogate: tokenizer, learning behaviour on small
+// synthetic datasets, serialization round-trip, and train_or_load caching.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bhive/dataset.h"
+#include "cost/ithemal_model.h"
+#include "util/stats.h"
+#include "x86/parser.h"
+
+namespace cc = comet::cost;
+namespace cb = comet::bhive;
+namespace cx = comet::x86;
+
+namespace {
+
+cc::IthemalConfig tiny_config() {
+  cc::IthemalConfig cfg;
+  cfg.embed_dim = 8;
+  cfg.hidden_dim = 12;
+  cfg.epochs = 3;
+  cfg.lr = 5e-3;
+  return cfg;
+}
+
+const cc::MicroArch HSW = cc::MicroArch::Haswell;
+
+}  // namespace
+
+// ---------- tokenizer ----------
+
+TEST(Tokenizer, VocabularyCoversAllOpcodesAndRegisters) {
+  const cc::BlockTokenizer tok;
+  EXPECT_GT(tok.vocab_size(), cx::kNumOpcodes);
+}
+
+TEST(Tokenizer, OneSequencePerInstruction) {
+  const cc::BlockTokenizer tok;
+  const auto block = cx::parse_block(R"(
+    add rcx, rax
+    mov rdx, qword ptr [rdi + 24]
+    pop rbx
+  )");
+  const auto seqs = tok.tokenize(block);
+  ASSERT_EQ(seqs.size(), 3u);
+  // "add rcx, rax": opcode + 2 registers.
+  EXPECT_EQ(seqs[0].size(), 3u);
+  // Memory operand adds open/close markers and the base register.
+  EXPECT_GE(seqs[1].size(), 4u);
+  for (const auto& seq : seqs) {
+    for (int t : seq) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, static_cast<int>(tok.vocab_size()));
+    }
+  }
+}
+
+TEST(Tokenizer, DistinguishesRegistersAndWidths) {
+  const cc::BlockTokenizer tok;
+  const auto a = tok.tokenize(cx::parse_block("mov rax, rcx"));
+  const auto b = tok.tokenize(cx::parse_block("mov rax, rdx"));
+  const auto c = tok.tokenize(cx::parse_block("mov eax, ecx"));
+  EXPECT_NE(a[0], b[0]);  // different source register
+  EXPECT_NE(a[0], c[0]);  // different width
+}
+
+// ---------- model learning ----------
+
+TEST(Ithemal, PredictsPositiveThroughput) {
+  cc::IthemalModel model(HSW, tiny_config());
+  const auto block = cx::parse_block("add rcx, rax\nmov rdx, rcx");
+  EXPECT_GT(model.predict(block), 0.0);
+  EXPECT_DOUBLE_EQ(model.predict(cx::BasicBlock{}), 0.0);
+}
+
+TEST(Ithemal, TrainingReducesError) {
+  // Train on a trivially learnable function of block length.
+  cc::IthemalModel model(HSW, tiny_config());
+  std::vector<cx::BasicBlock> blocks;
+  std::vector<double> targets;
+  comet::util::Rng rng(5);
+  cb::BlockGenerator gen;
+  for (int i = 0; i < 150; ++i) {
+    blocks.push_back(gen.generate(rng));
+    targets.push_back(static_cast<double>(blocks.back().size()) / 4.0);
+  }
+  // Error before training.
+  std::vector<double> before;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    before.push_back(model.predict(blocks[i]));
+  }
+  const double mape_before = comet::util::mape(before, targets);
+  const double mape_after = model.train(blocks, targets);
+  EXPECT_LT(mape_after, mape_before);
+  EXPECT_LT(mape_after, 25.0);
+}
+
+TEST(Ithemal, LearnedModelIsSensitiveToLength) {
+  cc::IthemalModel model(HSW, tiny_config());
+  std::vector<cx::BasicBlock> blocks;
+  std::vector<double> targets;
+  comet::util::Rng rng(6);
+  cb::BlockGenerator gen;
+  for (int i = 0; i < 200; ++i) {
+    blocks.push_back(gen.generate(rng));
+    targets.push_back(static_cast<double>(blocks.back().size()));
+  }
+  model.train(blocks, targets);
+  const auto small = cx::parse_block("add rcx, rax\nmov rdx, rcx\npop rbx\ninc rsi");
+  auto big = small;
+  for (int i = 0; i < 6; ++i) {
+    big.instructions.push_back(cx::parse_instruction("add r8, r9"));
+  }
+  EXPECT_GT(model.predict(big), model.predict(small));
+}
+
+TEST(Ithemal, DeterministicInitialization) {
+  cc::IthemalModel a(HSW, tiny_config()), b(HSW, tiny_config());
+  const auto block = cx::parse_block("add rcx, rax\nmov rdx, rcx");
+  EXPECT_DOUBLE_EQ(a.predict(block), b.predict(block));
+}
+
+TEST(Ithemal, UarchsInitializeDifferently) {
+  cc::IthemalModel hsw(HSW, tiny_config());
+  cc::IthemalModel skl(cc::MicroArch::Skylake, tiny_config());
+  const auto block = cx::parse_block("add rcx, rax\nmov rdx, rcx");
+  EXPECT_NE(hsw.predict(block), skl.predict(block));
+}
+
+// ---------- serialization ----------
+
+TEST(Ithemal, SaveLoadRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "comet_test_ithemal.bin";
+  cc::IthemalModel a(HSW, tiny_config());
+  // Perturb weights away from init so the round-trip is meaningful.
+  const auto block = cx::parse_block("add rcx, rax\nmov rdx, rcx");
+  a.train_step(block, 2.0);
+  a.save(path);
+
+  cc::IthemalModel b(HSW, tiny_config());
+  ASSERT_TRUE(b.load(path));
+  EXPECT_DOUBLE_EQ(a.predict(block), b.predict(block));
+  std::filesystem::remove(path);
+}
+
+TEST(Ithemal, LoadRejectsMissingOrCorruptFiles) {
+  cc::IthemalModel model(HSW, tiny_config());
+  EXPECT_FALSE(model.load("/nonexistent/path/weights.bin"));
+
+  const auto path =
+      std::filesystem::temp_directory_path() / "comet_test_garbage.bin";
+  std::FILE* fp = std::fopen(path.string().c_str(), "wb");
+  const char garbage[] = "not a weight file";
+  std::fwrite(garbage, 1, sizeof(garbage), fp);
+  std::fclose(fp);
+  EXPECT_FALSE(model.load(path));
+  std::filesystem::remove(path);
+}
+
+TEST(Ithemal, LoadRejectsDimensionMismatch) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "comet_test_dims.bin";
+  cc::IthemalModel small(HSW, tiny_config());
+  small.save(path);
+  cc::IthemalConfig bigger = tiny_config();
+  bigger.hidden_dim = 20;
+  cc::IthemalModel big(HSW, bigger);
+  EXPECT_FALSE(big.load(path));
+  std::filesystem::remove(path);
+}
+
+TEST(Ithemal, TrainOrLoadCaches) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "comet_test_cache.bin";
+  std::filesystem::remove(path);
+
+  std::vector<cx::BasicBlock> blocks;
+  std::vector<double> targets;
+  comet::util::Rng rng(7);
+  cb::BlockGenerator gen;
+  for (int i = 0; i < 40; ++i) {
+    blocks.push_back(gen.generate(rng));
+    targets.push_back(1.0 + static_cast<double>(i % 5));
+  }
+
+  cc::IthemalModel a(HSW, tiny_config());
+  const double first = a.train_or_load(path, blocks, targets);
+  EXPECT_GT(first, 0.0);  // trained
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  cc::IthemalModel b(HSW, tiny_config());
+  const double second = b.train_or_load(path, blocks, targets);
+  EXPECT_DOUBLE_EQ(second, 0.0);  // loaded from cache
+  const auto block = blocks.front();
+  EXPECT_DOUBLE_EQ(a.predict(block), b.predict(block));
+  std::filesystem::remove(path);
+}

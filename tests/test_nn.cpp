@@ -1,0 +1,270 @@
+// Tests for the neural-network substrate: matrix ops, Adam, LSTM forward
+// shapes, and — critically — numerical gradient checks of the full BPTT.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/lstm.h"
+#include "nn/mat.h"
+#include "util/rng.h"
+
+namespace cn = comet::nn;
+using comet::util::Rng;
+
+// ---------- Mat / affine ----------
+
+TEST(Mat, ShapeAndAccess) {
+  cn::Mat m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  m.at(1, 2) = 5.f;
+  EXPECT_FLOAT_EQ(m.at(1, 2), 5.f);
+}
+
+TEST(Mat, XavierInitBounded) {
+  Rng rng(1);
+  cn::Mat m(64, 64);
+  m.init_xavier(rng);
+  const double bound = std::sqrt(6.0 / 128.0);
+  bool nonzero = false;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::abs(m.data()[i]), bound + 1e-6);
+    nonzero |= m.data()[i] != 0.f;
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(Affine, ForwardMatchesManual) {
+  cn::Mat W(2, 3), b(2, 1);
+  // W = [[1,2,3],[4,5,6]], b = [0.5, -1]
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 3; ++c) W.at(r, c) = float(r * 3 + c + 1);
+  b.data()[0] = 0.5f;
+  b.data()[1] = -1.f;
+  const float x[3] = {1.f, 0.f, -1.f};
+  float y[2] = {0.f, 0.f};
+  cn::affine(W, b, x, y);
+  EXPECT_FLOAT_EQ(y[0], 1 - 3 + 0.5f);
+  EXPECT_FLOAT_EQ(y[1], 4 - 6 - 1.f);
+}
+
+TEST(Affine, BackwardNumericalCheck) {
+  Rng rng(2);
+  cn::Mat W(3, 4), b(3, 1);
+  W.init_xavier(rng);
+  b.init_xavier(rng);
+  std::vector<float> x(4);
+  for (auto& v : x) v = float(rng.uniform(-1, 1));
+  std::vector<float> dy(3);
+  for (auto& v : dy) v = float(rng.uniform(-1, 1));
+
+  std::vector<float> dx(4, 0.f);
+  cn::affine_backward(W, b, x.data(), dy.data(), dx.data());
+
+  // Loss L = dy . (Wx + b). Check dL/dW numerically.
+  const auto loss = [&] {
+    std::vector<float> y(3, 0.f);
+    cn::affine(W, b, x.data(), y.data());
+    float l = 0;
+    for (int i = 0; i < 3; ++i) l += dy[i] * y[i];
+    return l;
+  };
+  const float eps = 1e-3f;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const float save = W.at(r, c);
+      W.at(r, c) = save + eps;
+      const float lp = loss();
+      W.at(r, c) = save - eps;
+      const float lm = loss();
+      W.at(r, c) = save;
+      EXPECT_NEAR((lp - lm) / (2 * eps), W.grad_at(r, c), 2e-2);
+    }
+  }
+  // dL/dx.
+  for (std::size_t c = 0; c < 4; ++c) {
+    const float save = x[c];
+    x[c] = save + eps;
+    const float lp = loss();
+    x[c] = save - eps;
+    const float lm = loss();
+    x[c] = save;
+    EXPECT_NEAR((lp - lm) / (2 * eps), dx[c], 2e-2);
+  }
+}
+
+// ---------- Adam ----------
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 elementwise.
+  cn::Mat w(4, 1);
+  w.fill(0.f);
+  cn::Adam::Config cfg;
+  cfg.lr = 0.1;
+  cn::Adam opt({&w}, cfg);
+  for (int it = 0; it < 500; ++it) {
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w.grad()[i] = 2.f * (w.data()[i] - 3.f);
+    }
+    opt.step();
+  }
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(w.data()[i], 3.f, 0.05);
+  }
+}
+
+TEST(Adam, StepZerosGradients) {
+  cn::Mat w(2, 2);
+  cn::Adam opt({&w});
+  w.grad()[0] = 1.f;
+  opt.step();
+  EXPECT_FLOAT_EQ(w.grad()[0], 0.f);
+}
+
+TEST(Adam, GradientClippingBoundsUpdate) {
+  cn::Mat w(1, 1);
+  cn::Adam::Config cfg;
+  cfg.lr = 1.0;
+  cfg.clip = 0.001;
+  cn::Adam opt({&w}, cfg);
+  w.grad()[0] = 1e6f;
+  const float before = w.data()[0];
+  opt.step();
+  // Clipped gradient keeps the Adam moment small; update stays ~lr-bounded.
+  EXPECT_LT(std::abs(w.data()[0] - before), 1.5f);
+}
+
+// ---------- LSTM ----------
+
+TEST(Lstm, ForwardShapes) {
+  Rng rng(3);
+  cn::LstmCell cell(5, 7, rng);
+  EXPECT_EQ(cell.input_dim(), 5u);
+  EXPECT_EQ(cell.hidden_dim(), 7u);
+  std::vector<std::vector<float>> xs(4, std::vector<float>(5, 0.1f));
+  const auto caches = cell.run(xs);
+  ASSERT_EQ(caches.size(), 4u);
+  EXPECT_EQ(caches.back().h.size(), 7u);
+  EXPECT_EQ(caches.back().c.size(), 7u);
+}
+
+TEST(Lstm, EmptySequenceYieldsNoCaches) {
+  Rng rng(4);
+  cn::LstmCell cell(3, 4, rng);
+  EXPECT_TRUE(cell.run({}).empty());
+}
+
+TEST(Lstm, HiddenStateIsBounded) {
+  // |h| <= 1 elementwise (tanh * sigmoid).
+  Rng rng(5);
+  cn::LstmCell cell(4, 6, rng);
+  std::vector<std::vector<float>> xs(20, std::vector<float>(4, 3.f));
+  const auto caches = cell.run(xs);
+  for (float v : caches.back().h) {
+    EXPECT_LE(std::abs(v), 1.0f);
+  }
+}
+
+TEST(Lstm, DeterministicForward) {
+  Rng rng(6);
+  cn::LstmCell cell(3, 5, rng);
+  std::vector<std::vector<float>> xs(3, std::vector<float>(3, 0.5f));
+  const auto a = cell.run(xs);
+  const auto b = cell.run(xs);
+  for (std::size_t i = 0; i < a.back().h.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.back().h[i], b.back().h[i]);
+  }
+}
+
+TEST(Lstm, BpttNumericalGradientCheck) {
+  // Full BPTT gradient check on a tiny LSTM: loss = sum(h_final).
+  Rng rng(7);
+  cn::LstmCell cell(3, 4, rng);
+  std::vector<std::vector<float>> xs;
+  for (int t = 0; t < 3; ++t) {
+    std::vector<float> x(3);
+    for (auto& v : x) v = float(rng.uniform(-1, 1));
+    xs.push_back(x);
+  }
+  const auto loss = [&] {
+    const auto caches = cell.run(xs);
+    float l = 0;
+    for (float v : caches.back().h) l += v;
+    return l;
+  };
+
+  const auto caches = cell.run(xs);
+  const std::vector<float> dh(4, 1.f);
+  const auto dxs = cell.backward_sequence(caches, dh);
+
+  // Check parameter gradients numerically (sampled entries).
+  const float eps = 1e-3f;
+  for (cn::Mat* p : cell.params()) {
+    for (std::size_t i = 0; i < p->size(); i += std::max<std::size_t>(1, p->size() / 17)) {
+      const float analytic = p->grad()[i];
+      const float save = p->data()[i];
+      p->data()[i] = save + eps;
+      const float lp = loss();
+      p->data()[i] = save - eps;
+      const float lm = loss();
+      p->data()[i] = save;
+      EXPECT_NEAR((lp - lm) / (2 * eps), analytic, 5e-2)
+          << "param entry " << i;
+    }
+    p->zero_grad();
+  }
+
+  // Check input gradients numerically.
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      const float save = xs[t][d];
+      xs[t][d] = save + eps;
+      const float lp = loss();
+      xs[t][d] = save - eps;
+      const float lm = loss();
+      xs[t][d] = save;
+      EXPECT_NEAR((lp - lm) / (2 * eps), dxs[t][d], 5e-2);
+    }
+  }
+}
+
+TEST(Lstm, CanLearnToSumInputs) {
+  // Train a small LSTM + fixed readout to approximate the sum of a short
+  // sequence of scalars — end-to-end learning sanity check.
+  Rng rng(8);
+  cn::LstmCell cell(1, 8, rng);
+  cn::Mat w(1, 8), b(1, 1);
+  w.init_xavier(rng);
+  std::vector<cn::Mat*> params = cell.params();
+  params.push_back(&w);
+  params.push_back(&b);
+  cn::Adam::Config cfg;
+  cfg.lr = 1e-2;
+  cn::Adam opt(params, cfg);
+
+  double final_err = 0;
+  for (int it = 0; it < 1500; ++it) {
+    std::vector<std::vector<float>> xs;
+    float target = 0;
+    const int len = 2 + int(rng.index(3));
+    for (int t = 0; t < len; ++t) {
+      const float v = float(rng.uniform(0, 0.5));
+      xs.push_back({v});
+      target += v;
+    }
+    const auto caches = cell.run(xs);
+    float y = b.data()[0];
+    for (int i = 0; i < 8; ++i) y += w.data()[i] * caches.back().h[i];
+    const float err = y - target;
+    // Head gradients.
+    for (int i = 0; i < 8; ++i) w.grad()[i] += 2 * err * caches.back().h[i];
+    b.grad()[0] += 2 * err;
+    std::vector<float> dh(8);
+    for (int i = 0; i < 8; ++i) dh[i] = 2 * err * w.data()[i];
+    cell.backward_sequence(caches, dh);
+    opt.step();
+    if (it >= 1400) final_err += std::abs(err);
+  }
+  EXPECT_LT(final_err / 100.0, 0.12);
+}

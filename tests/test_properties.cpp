@@ -1,0 +1,227 @@
+// Property-based suites over generated corpora: Theorem 1 (monotonicity of
+// the perturbation function), validity and feature preservation of every Γ
+// sample, parser/printer round-trips, simulator invariants, and estimator
+// range properties. Parameterized over seeds so each property is exercised
+// on many distinct blocks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bhive/dataset.h"
+#include "core/comet.h"
+#include "cost/crude_model.h"
+#include "perturb/perturber.h"
+#include "sim/pipeline.h"
+#include "util/rng.h"
+#include "x86/parser.h"
+
+namespace cb = comet::bhive;
+namespace cg = comet::graph;
+namespace cp = comet::perturb;
+namespace cs = comet::sim;
+namespace cx = comet::x86;
+using comet::cost::MicroArch;
+using comet::util::Rng;
+
+namespace {
+
+/// One deterministic block per seed, drawn from the generator corpus.
+cx::BasicBlock block_for_seed(std::uint64_t seed) {
+  cb::DatasetOptions opts;
+  opts.size = 1;
+  opts.seed = 0xB10C0000 + seed;
+  return cb::generate_dataset(opts)[0].block;
+}
+
+/// A random subset of a block's features.
+cg::FeatureSet random_subset(const cg::FeatureSet& all, Rng& rng,
+                             double keep_prob) {
+  cg::FeatureSet out;
+  for (const auto& f : all.items()) {
+    if (rng.uniform() < keep_prob) out.insert(f);
+  }
+  return out;
+}
+
+class BlockProperty : public ::testing::TestWithParam<int> {};
+
+}  // namespace
+
+// ---------- Theorem 1: Π is monotonically decreasing ----------
+
+TEST_P(BlockProperty, Theorem1SamplesFromLargerSetContainSmaller) {
+  // F1 ⊆ F2 ⇒ Π(F2) ⊆ Π(F1): every perturbation retaining F2 must also
+  // retain F1. Verified on live samples from Γ(F2).
+  const auto block = block_for_seed(GetParam());
+  const cp::Perturber perturber(block);
+  Rng rng(GetParam() * 31 + 1);
+
+  const auto all = cg::extract_features(block);
+  const auto f2 = random_subset(all, rng, 0.5);
+  const auto f1 = random_subset(f2, rng, 0.5);
+  ASSERT_TRUE(f1.is_subset_of(f2));
+
+  for (int k = 0; k < 40; ++k) {
+    const auto pb = perturber.sample(f2, rng);
+    EXPECT_TRUE(perturber.contains(pb, f2)) << block.to_string();
+    EXPECT_TRUE(perturber.contains(pb, f1)) << block.to_string();
+  }
+}
+
+TEST_P(BlockProperty, Theorem1SpaceSizeShrinksWithMoreConstraints) {
+  // log10 |Π̂(F1)| ≥ log10 |Π̂(F2)| whenever F1 ⊆ F2.
+  const auto block = block_for_seed(GetParam());
+  const cp::Perturber perturber(block);
+  Rng rng(GetParam() * 37 + 2);
+
+  const auto all = cg::extract_features(block);
+  const auto f2 = random_subset(all, rng, 0.6);
+  const auto f1 = random_subset(f2, rng, 0.5);
+  EXPECT_GE(perturber.log10_space_size(f1) + 1e-9,
+            perturber.log10_space_size(f2));
+  EXPECT_GE(perturber.log10_space_size({}) + 1e-9,
+            perturber.log10_space_size(f1));
+}
+
+// ---------- Γ output validity ----------
+
+TEST_P(BlockProperty, EveryPerturbationIsValidIsa) {
+  const auto block = block_for_seed(GetParam());
+  const cp::Perturber perturber(block);
+  Rng rng(GetParam() * 41 + 3);
+  const auto all = cg::extract_features(block);
+
+  for (int k = 0; k < 60; ++k) {
+    const auto preserve = random_subset(all, rng, rng.uniform());
+    const auto pb = perturber.sample(preserve, rng);
+    EXPECT_TRUE(cx::is_valid(pb.block))
+        << "invalid perturbation of:\n"
+        << block.to_string() << "\n->\n"
+        << pb.block.to_string();
+    EXPECT_TRUE(perturber.contains(pb, preserve));
+    // The index mapping must be strictly increasing and in range.
+    std::size_t prev = cp::PerturbedBlock::npos;
+    for (std::size_t i = 0; i < pb.orig_index.size(); ++i) {
+      EXPECT_LT(pb.orig_index[i], block.size());
+      if (i > 0) EXPECT_GT(pb.orig_index[i], prev);
+      prev = pb.orig_index[i];
+    }
+  }
+}
+
+TEST_P(BlockProperty, PreservingEverythingReproducesTheBlock) {
+  // Γ(P̂) can only return β itself: all opcodes pinned, all deps pinned,
+  // η pinned. (Operands of dependency-free instructions may still rename,
+  // so compare opcode sequences and dependency feature sets, which is what
+  // feature identity is defined over.)
+  const auto block = block_for_seed(GetParam());
+  const cp::Perturber perturber(block);
+  Rng rng(GetParam() * 43 + 4);
+  const auto all = cg::extract_features(block);
+
+  for (int k = 0; k < 20; ++k) {
+    const auto pb = perturber.sample(all, rng);
+    ASSERT_EQ(pb.block.size(), block.size());
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      EXPECT_EQ(pb.block.instructions[i].opcode,
+                block.instructions[i].opcode);
+    }
+    EXPECT_TRUE(perturber.contains(pb, all));
+  }
+}
+
+// ---------- parser/printer round-trip ----------
+
+TEST_P(BlockProperty, ParsePrintRoundTrip) {
+  const auto block = block_for_seed(GetParam());
+  const auto reparsed = cx::parse_block(block.to_string());
+  EXPECT_EQ(reparsed, block) << block.to_string();
+}
+
+TEST_P(BlockProperty, PerturbationsAlsoRoundTrip) {
+  const auto block = block_for_seed(GetParam());
+  const cp::Perturber perturber(block);
+  Rng rng(GetParam() * 47 + 5);
+  for (int k = 0; k < 10; ++k) {
+    const auto pb = perturber.sample({}, rng);
+    if (pb.block.empty()) continue;
+    EXPECT_EQ(cx::parse_block(pb.block.to_string()), pb.block);
+  }
+}
+
+// ---------- simulator invariants ----------
+
+TEST_P(BlockProperty, ThroughputRespectsFrontEndLowerBound) {
+  const auto block = block_for_seed(GetParam());
+  cs::SimOptions opt;
+  cs::SimTrace trace;
+  const double tp =
+      cs::simulate_throughput(block, MicroArch::Haswell, opt, &trace);
+  const double fe_bound =
+      double(trace.uops_per_iteration) / opt.issue_width;
+  EXPECT_GE(tp + 0.15, fe_bound) << block.to_string();
+}
+
+TEST_P(BlockProperty, RemovingPortContentionNeverSlowsDown) {
+  const auto block = block_for_seed(GetParam());
+  cs::SimOptions full;
+  cs::SimOptions no_ports = full;
+  no_ports.ignore_ports = true;
+  EXPECT_LE(cs::simulate_throughput(block, MicroArch::Haswell, no_ports),
+            cs::simulate_throughput(block, MicroArch::Haswell, full) + 0.15)
+      << block.to_string();
+}
+
+TEST_P(BlockProperty, ScalingLatenciesUpNeverSpeedsUp) {
+  const auto block = block_for_seed(GetParam());
+  cs::SimOptions base;
+  cs::SimOptions slow = base;
+  slow.latency_scale = 2.0;
+  EXPECT_GE(cs::simulate_throughput(block, MicroArch::Haswell, slow) + 1e-9,
+            cs::simulate_throughput(block, MicroArch::Haswell, base))
+      << block.to_string();
+}
+
+TEST_P(BlockProperty, SimulatorIsDeterministic) {
+  const auto block = block_for_seed(GetParam());
+  const double a = cs::simulate_throughput(block, MicroArch::Skylake);
+  const double b = cs::simulate_throughput(block, MicroArch::Skylake);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+// ---------- estimator ranges ----------
+
+TEST_P(BlockProperty, PrecisionAndCoverageAreProbabilities) {
+  const auto block = block_for_seed(GetParam());
+  const comet::cost::CrudeModel crude(MicroArch::Haswell);
+  comet::core::CometOptions opts;
+  opts.epsilon = 0.25;
+  const comet::core::CometExplainer explainer(crude, opts);
+  Rng rng(GetParam() * 53 + 6);
+
+  const auto all = cg::extract_features(block);
+  const auto fs = random_subset(all, rng, 0.4);
+  const double prec = explainer.estimate_precision(block, fs, 80, rng);
+  const double cov = explainer.estimate_coverage(block, fs, 80, rng);
+  EXPECT_GE(prec, 0.0);
+  EXPECT_LE(prec, 1.0);
+  EXPECT_GE(cov, 0.0);
+  EXPECT_LE(cov, 1.0);
+}
+
+TEST_P(BlockProperty, FullFeatureSetIsPerfectlyPrecise) {
+  // Preserving all of P̂ pins the prediction-relevant structure; the crude
+  // model C reads only P̂ features, so precision must be 1.
+  const auto block = block_for_seed(GetParam());
+  const comet::cost::CrudeModel crude(MicroArch::Haswell);
+  comet::core::CometOptions opts;
+  opts.epsilon = 0.25;
+  const comet::core::CometExplainer explainer(crude, opts);
+  Rng rng(GetParam() * 59 + 7);
+
+  const auto all = cg::extract_features(block);
+  EXPECT_DOUBLE_EQ(explainer.estimate_precision(block, all, 40, rng), 1.0)
+      << block.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, BlockProperty, ::testing::Range(0, 24));

@@ -1,0 +1,494 @@
+// Unit tests for the x86 substrate: register model, operands, ISA catalog,
+// semantics, parser, and printer round-trips.
+#include <gtest/gtest.h>
+
+#include "x86/instruction.h"
+#include "x86/isa.h"
+#include "x86/operand.h"
+#include "x86/parser.h"
+#include "x86/registers.h"
+
+namespace cx = comet::x86;
+
+// ---------- registers ----------
+
+TEST(Registers, NamesRoundTrip) {
+  for (const char* name :
+       {"rax", "eax", "ax", "al", "ah", "r8", "r8d", "r8w", "r8b", "rsp",
+        "xmm0", "xmm15", "ymm3", "sil", "dil"}) {
+    const auto reg = cx::parse_reg(name);
+    ASSERT_TRUE(reg.has_value()) << name;
+    EXPECT_EQ(cx::reg_name(*reg), name);
+  }
+}
+
+TEST(Registers, ParseRejectsGarbage) {
+  EXPECT_FALSE(cx::parse_reg("foo").has_value());
+  EXPECT_FALSE(cx::parse_reg("xmm16").has_value());
+  EXPECT_FALSE(cx::parse_reg("").has_value());
+}
+
+TEST(Registers, ParseIsCaseInsensitive) {
+  const auto reg = cx::parse_reg("RAX");
+  ASSERT_TRUE(reg.has_value());
+  EXPECT_EQ(reg->family, cx::RegFamily::RAX);
+  EXPECT_EQ(reg->width_bits, 64);
+}
+
+TEST(Registers, SubRegisterAliasing) {
+  const auto rax = *cx::parse_reg("rax");
+  const auto eax = *cx::parse_reg("eax");
+  const auto al = *cx::parse_reg("al");
+  const auto ah = *cx::parse_reg("ah");
+  EXPECT_TRUE(cx::read_range(rax).overlaps(cx::read_range(eax)));
+  EXPECT_TRUE(cx::read_range(rax).overlaps(cx::read_range(al)));
+  EXPECT_TRUE(cx::read_range(rax).overlaps(cx::read_range(ah)));
+  // al (byte 0) and ah (byte 1) do not overlap.
+  EXPECT_FALSE(cx::read_range(al).overlaps(cx::read_range(ah)));
+}
+
+TEST(Registers, ThirtyTwoBitWriteZeroExtends) {
+  const auto eax = *cx::parse_reg("eax");
+  // A 32-bit write covers all 8 bytes (zero-extension) ...
+  EXPECT_EQ(cx::write_range(eax).end, 8);
+  // ... but a 32-bit read covers only 4.
+  EXPECT_EQ(cx::read_range(eax).end, 4);
+  // 16-bit writes stay partial.
+  const auto ax = *cx::parse_reg("ax");
+  EXPECT_EQ(cx::write_range(ax).end, 2);
+}
+
+TEST(Registers, Classes) {
+  EXPECT_EQ(cx::reg_class(cx::RegFamily::RAX), cx::RegClass::Gpr);
+  EXPECT_EQ(cx::reg_class(cx::RegFamily::XMM5), cx::RegClass::Vec);
+  EXPECT_EQ(cx::reg_class(cx::RegFamily::FLAGS), cx::RegClass::Flags);
+}
+
+TEST(Registers, SubstitutablePoolsExcludeStackRegs) {
+  for (const auto fam : cx::substitutable_gpr_families()) {
+    EXPECT_FALSE(cx::is_stack_family(fam));
+  }
+  EXPECT_EQ(cx::vec_families().size(), 16u);
+}
+
+// ---------- operands ----------
+
+TEST(Operand, SizeAndKind) {
+  const auto r = cx::Operand::reg(*cx::parse_reg("ecx"));
+  EXPECT_TRUE(r.is_reg());
+  EXPECT_EQ(r.size_bits(), 32);
+
+  const auto imm = cx::Operand::imm(42);
+  EXPECT_TRUE(imm.is_imm());
+
+  cx::MemOperand m;
+  m.base = *cx::parse_reg("rdi");
+  m.disp = 24;
+  m.size_bits = 64;
+  const auto mem = cx::Operand::mem(m);
+  EXPECT_TRUE(mem.is_mem());
+  EXPECT_EQ(mem.size_bits(), 64);
+}
+
+TEST(Operand, AddressRegs) {
+  cx::MemOperand m;
+  m.base = *cx::parse_reg("rbp");
+  m.index = *cx::parse_reg("rax");
+  m.scale = 4;
+  const auto regs = cx::Operand::mem(m).address_regs();
+  ASSERT_EQ(regs.size(), 2u);
+  EXPECT_EQ(regs[0].family, cx::RegFamily::RBP);
+  EXPECT_EQ(regs[1].family, cx::RegFamily::RAX);
+}
+
+TEST(Operand, MemToString) {
+  cx::MemOperand m;
+  m.base = *cx::parse_reg("rdi");
+  m.disp = 24;
+  m.size_bits = 64;
+  EXPECT_EQ(cx::Operand::mem(m).to_string(), "qword ptr [rdi + 24]");
+  m.disp = -8;
+  EXPECT_EQ(cx::Operand::mem(m).to_string(), "qword ptr [rdi - 8]");
+}
+
+// ---------- catalog ----------
+
+TEST(Catalog, EveryOpcodeHasMnemonicAndSignatures) {
+  for (const auto op : cx::all_opcodes()) {
+    const auto& inf = cx::info(op);
+    EXPECT_FALSE(inf.mnemonic.empty());
+    EXPECT_FALSE(inf.signatures.empty())
+        << "opcode without signatures: " << inf.mnemonic;
+    EXPECT_EQ(inf.op, op);
+  }
+}
+
+TEST(Catalog, MnemonicRoundTrip) {
+  for (const auto op : cx::all_opcodes()) {
+    const auto parsed = cx::parse_opcode(cx::mnemonic(op));
+    ASSERT_TRUE(parsed.has_value()) << cx::mnemonic(op);
+    EXPECT_EQ(*parsed, op);
+  }
+}
+
+TEST(Catalog, AddAcceptsRegRegSameWidth) {
+  const auto rax = cx::Operand::reg(*cx::parse_reg("rax"));
+  const auto rcx = cx::Operand::reg(*cx::parse_reg("rcx"));
+  const auto ecx = cx::Operand::reg(*cx::parse_reg("ecx"));
+  const std::vector<cx::Operand> ok{rcx, rax};
+  const std::vector<cx::Operand> bad{rcx, ecx};  // width mismatch
+  EXPECT_NE(cx::find_signature(cx::Opcode::ADD, ok), nullptr);
+  const std::vector<cx::Operand> bad2{bad[0], ecx};
+  EXPECT_EQ(cx::find_signature(cx::Opcode::ADD, bad2), nullptr);
+}
+
+TEST(Catalog, MovRejectsMemMem) {
+  cx::MemOperand m;
+  m.base = *cx::parse_reg("rax");
+  m.size_bits = 64;
+  const std::vector<cx::Operand> ops{cx::Operand::mem(m), cx::Operand::mem(m)};
+  EXPECT_EQ(cx::find_signature(cx::Opcode::MOV, ops), nullptr);
+}
+
+TEST(Catalog, ShiftCountMustBeClOrImm) {
+  const auto rax = cx::Operand::reg(*cx::parse_reg("rax"));
+  const auto cl = cx::Operand::reg(*cx::parse_reg("cl"));
+  const auto dl = cx::Operand::reg(*cx::parse_reg("dl"));
+  const std::vector<cx::Operand> v1{rax, cl};
+  EXPECT_NE(cx::find_signature(cx::Opcode::SHL, v1), nullptr);
+  const std::vector<cx::Operand> v2{rax, dl};
+  EXPECT_EQ(cx::find_signature(cx::Opcode::SHL, v2), nullptr);
+  const std::vector<cx::Operand> v3{rax, cx::Operand::imm(3)};
+  EXPECT_NE(cx::find_signature(cx::Opcode::SHL, v3), nullptr);
+}
+
+TEST(Catalog, MovzxRequiresNarrowerSource) {
+  const auto eax = cx::Operand::reg(*cx::parse_reg("eax"));
+  const auto cl = cx::Operand::reg(*cx::parse_reg("cl"));
+  const auto ecx = cx::Operand::reg(*cx::parse_reg("ecx"));
+  const std::vector<cx::Operand> v1{eax, cl};
+  EXPECT_NE(cx::find_signature(cx::Opcode::MOVZX, v1), nullptr);
+  const std::vector<cx::Operand> v2{eax, ecx};
+  EXPECT_EQ(cx::find_signature(cx::Opcode::MOVZX, v2), nullptr);
+}
+
+TEST(Catalog, VectorOpsRejectGprOperands) {
+  const auto rax = cx::Operand::reg(*cx::parse_reg("rax"));
+  const auto xmm0 = cx::Operand::reg(*cx::parse_reg("xmm0"));
+  const std::vector<cx::Operand> v1{xmm0, rax};
+  EXPECT_EQ(cx::find_signature(cx::Opcode::ADDPS, v1), nullptr);
+  const std::vector<cx::Operand> v2{xmm0, xmm0};
+  EXPECT_NE(cx::find_signature(cx::Opcode::ADDPS, v2), nullptr);
+}
+
+TEST(Catalog, ReplacementCandidatesShareSignature) {
+  const auto rcx = cx::Operand::reg(*cx::parse_reg("rcx"));
+  const auto rax = cx::Operand::reg(*cx::parse_reg("rax"));
+  const std::vector<cx::Operand> ops{rcx, rax};
+  const auto cands = cx::replacement_opcodes(cx::Opcode::ADD, ops);
+  EXPECT_FALSE(cands.empty());
+  for (const auto c : cands) {
+    EXPECT_NE(c, cx::Opcode::ADD);
+    EXPECT_NE(cx::find_signature(c, ops), nullptr)
+        << "candidate does not accept operands: " << cx::mnemonic(c);
+  }
+  // sub should certainly be a candidate for add r64, r64.
+  EXPECT_NE(std::find(cands.begin(), cands.end(), cx::Opcode::SUB),
+            cands.end());
+}
+
+TEST(Catalog, LeaHasNoReplacements) {
+  // Paper Appendix D: lea has no behavioral peer; replacement must fail.
+  const auto inst = cx::parse_instruction("lea rdx, [rax + 1]");
+  const auto cands = cx::replacement_opcodes(inst.opcode, inst.operands);
+  EXPECT_TRUE(cands.empty());
+}
+
+TEST(Catalog, MemoryInstructionNeverReplacedByLea) {
+  const auto inst = cx::parse_instruction("add rdx, qword ptr [rax + 1]");
+  const auto cands = cx::replacement_opcodes(inst.opcode, inst.operands);
+  EXPECT_EQ(std::find(cands.begin(), cands.end(), cx::Opcode::LEA),
+            cands.end());
+}
+
+// ---------- semantics ----------
+
+TEST(Semantics, MovWritesDstReadsSrc) {
+  const auto inst = cx::parse_instruction("mov rdx, rcx");
+  const auto sem = cx::semantics(inst);
+  ASSERT_EQ(sem.regs.size(), 2u);
+  bool wrote_rdx = false, read_rcx = false;
+  for (const auto& a : sem.regs) {
+    if (a.reg.family == cx::RegFamily::RDX) {
+      wrote_rdx = a.write && !a.read;
+    }
+    if (a.reg.family == cx::RegFamily::RCX) {
+      read_rcx = a.read && !a.write;
+    }
+  }
+  EXPECT_TRUE(wrote_rdx);
+  EXPECT_TRUE(read_rcx);
+  EXPECT_FALSE(sem.mem.has_value());
+  EXPECT_FALSE(sem.writes_flags);
+}
+
+TEST(Semantics, AddReadsAndWritesDst) {
+  const auto sem = cx::semantics(cx::parse_instruction("add rcx, rax"));
+  bool ok = false;
+  for (const auto& a : sem.regs) {
+    if (a.reg.family == cx::RegFamily::RCX) ok = a.read && a.write;
+  }
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(sem.writes_flags);
+}
+
+TEST(Semantics, StoreWritesMemoryAndReadsAddressRegs) {
+  const auto sem = cx::semantics(
+      cx::parse_instruction("mov qword ptr [rdi + 24], rdx"));
+  ASSERT_TRUE(sem.mem.has_value());
+  EXPECT_TRUE(sem.mem->write);
+  EXPECT_FALSE(sem.mem->read);
+  bool read_rdi = false;
+  for (const auto& a : sem.regs) {
+    if (a.reg.family == cx::RegFamily::RDI) read_rdi = a.read;
+  }
+  EXPECT_TRUE(read_rdi);
+}
+
+TEST(Semantics, LoadReadsMemory) {
+  const auto sem =
+      cx::semantics(cx::parse_instruction("mov rsi, qword ptr [r14 + 32]"));
+  ASSERT_TRUE(sem.mem.has_value());
+  EXPECT_TRUE(sem.mem->read);
+  EXPECT_FALSE(sem.mem->write);
+}
+
+TEST(Semantics, LeaDoesNotAccessMemory) {
+  const auto sem = cx::semantics(cx::parse_instruction("lea rdx, [rax + 1]"));
+  EXPECT_FALSE(sem.mem.has_value());
+  bool read_rax = false;
+  for (const auto& a : sem.regs) {
+    if (a.reg.family == cx::RegFamily::RAX) read_rax = a.read;
+  }
+  EXPECT_TRUE(read_rax);
+}
+
+TEST(Semantics, DivImplicitRaxRdx) {
+  const auto sem = cx::semantics(cx::parse_instruction("div rcx"));
+  bool rax_rw = false, rdx_rw = false, rcx_r = false;
+  for (const auto& a : sem.regs) {
+    if (a.reg.family == cx::RegFamily::RAX) rax_rw = a.read && a.write;
+    if (a.reg.family == cx::RegFamily::RDX) rdx_rw = a.read && a.write;
+    if (a.reg.family == cx::RegFamily::RCX) rcx_r = a.read && !a.write;
+  }
+  EXPECT_TRUE(rax_rw);
+  EXPECT_TRUE(rdx_rw);
+  EXPECT_TRUE(rcx_r);
+}
+
+TEST(Semantics, MulImplicitWritesRdxButDoesNotReadIt) {
+  const auto sem = cx::semantics(cx::parse_instruction("mul rcx"));
+  bool rdx_ok = false;
+  for (const auto& a : sem.regs) {
+    if (a.reg.family == cx::RegFamily::RDX) rdx_ok = a.write && !a.read;
+  }
+  EXPECT_TRUE(rdx_ok);
+}
+
+TEST(Semantics, TwoOperandImulHasNoImplicitRegs) {
+  const auto sem = cx::semantics(cx::parse_instruction("imul rax, rcx"));
+  for (const auto& a : sem.regs) {
+    EXPECT_NE(a.reg.family, cx::RegFamily::RDX);
+  }
+}
+
+TEST(Semantics, PushReadsOperandAndUpdatesRsp) {
+  const auto sem = cx::semantics(cx::parse_instruction("push rbx"));
+  bool rsp_rw = false, rbx_r = false;
+  for (const auto& a : sem.regs) {
+    if (a.reg.family == cx::RegFamily::RSP) rsp_rw = a.read && a.write;
+    if (a.reg.family == cx::RegFamily::RBX) rbx_r = a.read;
+  }
+  EXPECT_TRUE(rsp_rw);
+  EXPECT_TRUE(rbx_r);
+  EXPECT_TRUE(sem.stack_mem_write);
+}
+
+TEST(Semantics, PopWritesOperand) {
+  const auto sem = cx::semantics(cx::parse_instruction("pop rbx"));
+  bool rbx_w = false;
+  for (const auto& a : sem.regs) {
+    if (a.reg.family == cx::RegFamily::RBX) rbx_w = a.write && !a.read;
+  }
+  EXPECT_TRUE(rbx_w);
+  EXPECT_TRUE(sem.stack_mem_read);
+}
+
+TEST(Semantics, CmovReadsFlags) {
+  const auto sem = cx::semantics(cx::parse_instruction("cmove rax, rcx"));
+  EXPECT_TRUE(sem.reads_flags);
+}
+
+TEST(Semantics, XorWritesFlagsNotDoesNot) {
+  EXPECT_TRUE(cx::semantics(cx::parse_instruction("xor edx, edx")).writes_flags);
+  EXPECT_FALSE(cx::semantics(cx::parse_instruction("not rdx")).writes_flags);
+}
+
+TEST(Semantics, Avx3OperandAccess) {
+  const auto sem =
+      cx::semantics(cx::parse_instruction("vdivss xmm0, xmm0, xmm6"));
+  // xmm0 appears as both dst (write) and src1 (read) -> merged RW.
+  bool xmm0_rw = false, xmm6_r = false;
+  for (const auto& a : sem.regs) {
+    if (a.reg.family == cx::RegFamily::XMM0) xmm0_rw = a.read && a.write;
+    if (a.reg.family == cx::RegFamily::XMM6) xmm6_r = a.read && !a.write;
+  }
+  EXPECT_TRUE(xmm0_rw);
+  EXPECT_TRUE(xmm6_r);
+}
+
+TEST(Semantics, InvalidInstructionThrows) {
+  cx::Instruction bad;
+  bad.opcode = cx::Opcode::ADD;
+  bad.operands = {cx::Operand::imm(1), cx::Operand::imm(2)};
+  EXPECT_THROW(cx::semantics(bad), std::invalid_argument);
+  EXPECT_FALSE(cx::is_valid(bad));
+}
+
+// ---------- parser ----------
+
+TEST(Parser, SimpleInstructions) {
+  EXPECT_EQ(cx::parse_instruction("add rcx, rax").to_string(), "add rcx, rax");
+  EXPECT_EQ(cx::parse_instruction("pop rbx").to_string(), "pop rbx");
+  EXPECT_EQ(cx::parse_instruction("nop").to_string(), "nop");
+}
+
+TEST(Parser, MemoryOperands) {
+  const auto i1 = cx::parse_instruction("mov qword ptr [rdi + 24], rdx");
+  ASSERT_TRUE(i1.operands[0].is_mem());
+  EXPECT_EQ(i1.operands[0].as_mem().disp, 24);
+  EXPECT_EQ(i1.operands[0].as_mem().size_bits, 64);
+
+  const auto i2 = cx::parse_instruction("mov byte ptr [rax], 80");
+  EXPECT_EQ(i2.operands[0].as_mem().size_bits, 8);
+  EXPECT_EQ(i2.operands[1].as_imm().value, 80);
+
+  const auto i3 = cx::parse_instruction("lea rax, [rbp + rax - 1]");
+  const auto& m = i3.operands[1].as_mem();
+  EXPECT_EQ(m.base->family, cx::RegFamily::RBP);
+  EXPECT_EQ(m.index->family, cx::RegFamily::RAX);
+  EXPECT_EQ(m.disp, -1);
+}
+
+TEST(Parser, ScaledIndex) {
+  const auto inst = cx::parse_instruction("mov rax, qword ptr [rsi + rcx*8 + 16]");
+  const auto& m = inst.operands[1].as_mem();
+  EXPECT_EQ(m.scale, 8);
+  EXPECT_EQ(m.disp, 16);
+}
+
+TEST(Parser, InfersMemSizeFromRegister) {
+  const auto inst = cx::parse_instruction("mov rsi, [r14 + 32]");
+  EXPECT_EQ(inst.operands[1].as_mem().size_bits, 64);
+  const auto inst32 = cx::parse_instruction("add ecx, [r14]");
+  EXPECT_EQ(inst32.operands[1].as_mem().size_bits, 32);
+}
+
+TEST(Parser, ScalarFpMemWidthInferred) {
+  const auto inst = cx::parse_instruction("addss xmm1, [rax]");
+  EXPECT_EQ(inst.operands[1].as_mem().size_bits, 32);
+  const auto instsd = cx::parse_instruction("addsd xmm1, [rax]");
+  EXPECT_EQ(instsd.operands[1].as_mem().size_bits, 64);
+}
+
+TEST(Parser, HexImmediates) {
+  const auto inst = cx::parse_instruction("mov rax, 0x10");
+  EXPECT_EQ(inst.operands[1].as_imm().value, 16);
+  const auto neg = cx::parse_instruction("add rax, -5");
+  EXPECT_EQ(neg.operands[1].as_imm().value, -5);
+}
+
+TEST(Parser, RejectsBadInput) {
+  EXPECT_THROW(cx::parse_instruction("bogus rax"), cx::ParseError);
+  EXPECT_THROW(cx::parse_instruction("add rax"), cx::ParseError);
+  EXPECT_THROW(cx::parse_instruction("mov [rax, rbx"), cx::ParseError);
+  EXPECT_THROW(cx::parse_instruction("jmp rax"), cx::ParseError);  // no CF ops
+  EXPECT_THROW(cx::parse_instruction(""), cx::ParseError);
+}
+
+TEST(Parser, BlockWithCommentsAndListingNumbers) {
+  const auto block = cx::parse_block(R"(
+    1: add rcx, rax   ; RAW with next
+    2: mov rdx, rcx
+    # a comment line
+    3: pop rbx
+  )");
+  ASSERT_EQ(block.size(), 3u);
+  EXPECT_EQ(block.instructions[0].to_string(), "add rcx, rax");
+  EXPECT_EQ(block.instructions[2].to_string(), "pop rbx");
+  EXPECT_TRUE(cx::is_valid(block));
+}
+
+TEST(Parser, PaperCaseStudyBlocks) {
+  // Listing 2.
+  const auto cs1 = cx::parse_block(R"(
+    lea rdx, [rax + 1]
+    mov qword ptr [rdi + 24], rdx
+    mov byte ptr [rax], 80
+    mov rsi, qword ptr [r14 + 32]
+    mov rdi, rbp
+  )");
+  EXPECT_EQ(cs1.size(), 5u);
+  // Listing 3.
+  const auto cs2 = cx::parse_block(R"(
+    mov ecx, edx
+    xor edx, edx
+    lea rax, [rcx + rax - 1]
+    div rcx
+    mov rdx, rcx
+    imul rax, rcx
+  )");
+  EXPECT_EQ(cs2.size(), 6u);
+  // Listing 4 (AVX).
+  const auto l4 = cx::parse_block(R"(
+    vdivss xmm0, xmm0, xmm6
+    vmulss xmm7, xmm0, xmm0
+    vxorps xmm0, xmm0, xmm5
+    vaddss xmm7, xmm7, xmm3
+    vmulss xmm6, xmm6, xmm7
+    vdivss xmm6, xmm3, xmm6
+    vmulss xmm0, xmm6, xmm0
+  )");
+  EXPECT_EQ(l4.size(), 7u);
+}
+
+TEST(Parser, RoundTripThroughPrinter) {
+  const char* lines[] = {
+      "add rcx, rax",
+      "mov qword ptr [rdi + 24], rdx",
+      "vdivss xmm0, xmm0, xmm6",
+      "shl eax, 3",
+      "imul rax, r15",
+      "mov rbp, qword ptr [rsp + 8]",
+      "cmove rax, rcx",
+      "movzx eax, cl",
+  };
+  for (const char* line : lines) {
+    const auto inst = cx::parse_instruction(line);
+    const auto printed = inst.to_string();
+    const auto reparsed = cx::parse_instruction(printed);
+    EXPECT_EQ(inst, reparsed) << line << " vs " << printed;
+  }
+}
+
+// Property test: every opcode's printed form for some valid operand choice
+// parses back. Uses reg-reg forms where available.
+class CatalogRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST(CatalogProperty, AllSignaturesHaveSaneSlotCounts) {
+  for (const auto op : cx::all_opcodes()) {
+    for (const auto& s : cx::info(op).signatures) {
+      EXPECT_LE(s.slots.size(), 4u);
+    }
+  }
+}

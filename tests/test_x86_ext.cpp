@@ -1,0 +1,287 @@
+// Tests for the extended opcode catalog: setcc, BMI, movbe/xadd/cdq/cqo,
+// GPR<->XMM moves, packed shifts, AVX2 integer / broadcast / lane ops, and
+// the additional FMA forms. Each case checks parsing, signature matching,
+// and the access semantics the dependency graph is built from.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "x86/isa.h"
+#include "graph/depgraph.h"
+#include "x86/parser.h"
+
+namespace cx = comet::x86;
+
+namespace {
+
+cx::InstSemantics sem_of(std::string_view line) {
+  return cx::semantics(cx::parse_instruction(line));
+}
+
+bool reads_family(const cx::InstSemantics& s, cx::RegFamily f) {
+  return std::any_of(s.regs.begin(), s.regs.end(), [&](const auto& a) {
+    return a.reg.family == f && a.read;
+  });
+}
+bool writes_family(const cx::InstSemantics& s, cx::RegFamily f) {
+  return std::any_of(s.regs.begin(), s.regs.end(), [&](const auto& a) {
+    return a.reg.family == f && a.write;
+  });
+}
+
+}  // namespace
+
+// ---------- setcc ----------
+
+TEST(X86Ext, SetccParsesAndReadsFlags) {
+  const auto inst = cx::parse_instruction("sete al");
+  EXPECT_EQ(inst.opcode, cx::Opcode::SETE);
+  const auto s = cx::semantics(inst);
+  EXPECT_TRUE(s.reads_flags);
+  EXPECT_FALSE(s.writes_flags);
+  EXPECT_TRUE(writes_family(s, cx::RegFamily::RAX));
+}
+
+TEST(X86Ext, SetccRejectsWideRegisters) {
+  EXPECT_FALSE(cx::is_valid(cx::Instruction{
+      cx::Opcode::SETNE,
+      {cx::Operand(cx::Reg{cx::RegFamily::RAX, 64})}}));
+}
+
+TEST(X86Ext, SetccMemoryForm) {
+  const auto s = sem_of("setb byte ptr [rdi]");
+  ASSERT_TRUE(s.mem.has_value());
+  EXPECT_TRUE(s.mem->write);
+  EXPECT_FALSE(s.mem->read);
+}
+
+// ---------- cmovcc extensions ----------
+
+TEST(X86Ext, NewCmovFormsParse) {
+  for (const char* line : {"cmovbe rax, rbx", "cmovae ecx, edx",
+                           "cmovo rsi, rdi", "cmovnp r8, r9"}) {
+    const auto inst = cx::parse_instruction(line);
+    const auto s = cx::semantics(inst);
+    EXPECT_TRUE(s.reads_flags) << line;
+  }
+}
+
+// ---------- movbe / xadd / cdq / cqo ----------
+
+TEST(X86Ext, MovbeHasNoRegRegForm) {
+  EXPECT_TRUE(cx::is_valid(cx::parse_instruction("movbe rax, qword ptr [rdi]")));
+  EXPECT_TRUE(cx::is_valid(cx::parse_instruction("movbe dword ptr [rdi], eax")));
+  EXPECT_FALSE(cx::is_valid(cx::Instruction{
+      cx::Opcode::MOVBE,
+      {cx::Operand(cx::Reg{cx::RegFamily::RAX, 64}),
+       cx::Operand(cx::Reg{cx::RegFamily::RBX, 64})}}));
+}
+
+TEST(X86Ext, XaddReadsAndWritesBothOperands) {
+  const auto s = sem_of("xadd rax, rbx");
+  EXPECT_TRUE(reads_family(s, cx::RegFamily::RAX));
+  EXPECT_TRUE(writes_family(s, cx::RegFamily::RAX));
+  EXPECT_TRUE(reads_family(s, cx::RegFamily::RBX));
+  EXPECT_TRUE(writes_family(s, cx::RegFamily::RBX));
+  EXPECT_TRUE(s.writes_flags);
+}
+
+TEST(X86Ext, CdqCqoImplicitRegisters) {
+  const auto cdq = sem_of("cdq");
+  EXPECT_TRUE(reads_family(cdq, cx::RegFamily::RAX));
+  EXPECT_TRUE(writes_family(cdq, cx::RegFamily::RDX));
+  EXPECT_FALSE(writes_family(cdq, cx::RegFamily::RAX));
+
+  const auto cqo = sem_of("cqo");
+  EXPECT_TRUE(reads_family(cqo, cx::RegFamily::RAX));
+  EXPECT_TRUE(writes_family(cqo, cx::RegFamily::RDX));
+}
+
+TEST(X86Ext, CdqCreatesRawDependencyOnRax) {
+  // add rax, rbx ; cdq — cdq reads rax, so a RAW edge must exist.
+  const auto block = cx::parse_block("add rax, rbx\ncdq");
+  const auto g = comet::graph::DepGraph::build(block);
+  EXPECT_TRUE(g.has_edge(0, 1, comet::graph::DepKind::RAW));
+}
+
+// ---------- BMI ----------
+
+TEST(X86Ext, AndnThreeOperandForm) {
+  const auto s = sem_of("andn rax, rbx, rcx");
+  EXPECT_TRUE(writes_family(s, cx::RegFamily::RAX));
+  EXPECT_FALSE(reads_family(s, cx::RegFamily::RAX));
+  EXPECT_TRUE(reads_family(s, cx::RegFamily::RBX));
+  EXPECT_TRUE(reads_family(s, cx::RegFamily::RCX));
+  EXPECT_TRUE(s.writes_flags);
+}
+
+TEST(X86Ext, AndnRequiresUniformWidth) {
+  EXPECT_FALSE(cx::is_valid(cx::Instruction{
+      cx::Opcode::ANDN,
+      {cx::Operand(cx::Reg{cx::RegFamily::RAX, 64}),
+       cx::Operand(cx::Reg{cx::RegFamily::RBX, 32}),
+       cx::Operand(cx::Reg{cx::RegFamily::RCX, 64})}}));
+}
+
+TEST(X86Ext, BlsiFamilyWritesFreshDestination) {
+  for (const char* line : {"blsi rax, rbx", "blsr ecx, edx",
+                           "blsmsk r10, r11"}) {
+    const auto s = sem_of(line);
+    ASSERT_FALSE(s.regs.empty()) << line;
+    EXPECT_TRUE(s.regs[0].write) << line;
+    EXPECT_FALSE(s.regs[0].read) << line;
+    EXPECT_TRUE(s.writes_flags) << line;
+  }
+}
+
+TEST(X86Ext, ShlxTakesCountInThirdRegister) {
+  const auto s = sem_of("shlx rax, rbx, rcx");
+  EXPECT_TRUE(writes_family(s, cx::RegFamily::RAX));
+  EXPECT_TRUE(reads_family(s, cx::RegFamily::RCX));
+  EXPECT_FALSE(s.writes_flags);  // the point of the BMI2 shifts
+}
+
+TEST(X86Ext, RorxTakesImmediateCount) {
+  EXPECT_TRUE(cx::is_valid(cx::parse_instruction("rorx rax, rbx, 13")));
+  EXPECT_FALSE(cx::is_valid(cx::Instruction{
+      cx::Opcode::RORX,
+      {cx::Operand(cx::Reg{cx::RegFamily::RAX, 64}),
+       cx::Operand(cx::Reg{cx::RegFamily::RBX, 64}),
+       cx::Operand(cx::Reg{cx::RegFamily::RCX, 64})}}));
+}
+
+// ---------- GPR <-> XMM ----------
+
+TEST(X86Ext, MovdCrossesRegisterFiles) {
+  const auto to_vec = sem_of("movd xmm0, eax");
+  EXPECT_TRUE(reads_family(to_vec, cx::RegFamily::RAX));
+  EXPECT_TRUE(writes_family(to_vec, cx::RegFamily::XMM0));
+  const auto to_gpr = sem_of("movd eax, xmm0");
+  EXPECT_TRUE(reads_family(to_gpr, cx::RegFamily::XMM0));
+  EXPECT_TRUE(writes_family(to_gpr, cx::RegFamily::RAX));
+}
+
+TEST(X86Ext, MovqAcceptsVecToVec) {
+  EXPECT_TRUE(cx::is_valid(cx::parse_instruction("movq xmm1, xmm2")));
+  EXPECT_TRUE(cx::is_valid(cx::parse_instruction("movq rax, xmm0")));
+  // movd rejects 64-bit GPRs (movq covers them).
+  EXPECT_FALSE(cx::is_valid(cx::Instruction{
+      cx::Opcode::MOVD,
+      {cx::Operand(cx::Reg{cx::RegFamily::XMM0, 128}),
+       cx::Operand(cx::Reg{cx::RegFamily::RAX, 64})}}));
+}
+
+// ---------- packed shifts, predicates, horizontals ----------
+
+TEST(X86Ext, PackedShiftForms) {
+  EXPECT_TRUE(cx::is_valid(cx::parse_instruction("pslld xmm0, 4")));
+  EXPECT_TRUE(cx::is_valid(cx::parse_instruction("psrlq xmm1, xmm2")));
+  const auto s = sem_of("pslld xmm0, 4");
+  EXPECT_TRUE(reads_family(s, cx::RegFamily::XMM0));
+  EXPECT_TRUE(writes_family(s, cx::RegFamily::XMM0));
+}
+
+TEST(X86Ext, PtestWritesFlagsOnly) {
+  const auto s = sem_of("ptest xmm0, xmm1");
+  EXPECT_TRUE(s.writes_flags);
+  for (const auto& a : s.regs) EXPECT_FALSE(a.write);
+}
+
+TEST(X86Ext, PmovmskbExtractsMask) {
+  const auto s = sem_of("pmovmskb eax, xmm3");
+  EXPECT_TRUE(writes_family(s, cx::RegFamily::RAX));
+  EXPECT_TRUE(reads_family(s, cx::RegFamily::XMM3));
+}
+
+TEST(X86Ext, HorizontalAddsAreReadModifyWrite) {
+  const auto s = sem_of("haddps xmm0, xmm1");
+  EXPECT_TRUE(reads_family(s, cx::RegFamily::XMM0));
+  EXPECT_TRUE(writes_family(s, cx::RegFamily::XMM0));
+}
+
+// ---------- AVX2 / lane operations ----------
+
+TEST(X86Ext, Avx2IntegerYmmForms) {
+  for (const char* line : {"vpaddq ymm0, ymm1, ymm2",
+                           "vpmulld ymm3, ymm4, ymm5",
+                           "vpminub xmm0, xmm1, xmm2"}) {
+    EXPECT_TRUE(cx::is_valid(cx::parse_instruction(line))) << line;
+  }
+}
+
+TEST(X86Ext, BroadcastWidens) {
+  EXPECT_TRUE(cx::is_valid(cx::parse_instruction("vbroadcastss ymm0, xmm1")));
+  EXPECT_TRUE(cx::is_valid(
+      cx::parse_instruction("vbroadcastss xmm0, dword ptr [rdi]")));
+  const auto s = sem_of("vpbroadcastd ymm2, xmm0");
+  EXPECT_TRUE(writes_family(s, cx::RegFamily::XMM2));
+}
+
+TEST(X86Ext, LaneInsertExtract) {
+  EXPECT_TRUE(
+      cx::is_valid(cx::parse_instruction("vinsertf128 ymm0, ymm1, xmm2, 1")));
+  EXPECT_TRUE(
+      cx::is_valid(cx::parse_instruction("vextractf128 xmm0, ymm1, 0")));
+  const auto s = sem_of("vextractf128 xmmword ptr [rdi], ymm1, 1");
+  ASSERT_TRUE(s.mem.has_value());
+  EXPECT_TRUE(s.mem->write);
+}
+
+TEST(X86Ext, Vperm2f128TakesTwoSourcesAndImm) {
+  const auto s = sem_of("vperm2f128 ymm0, ymm1, ymm2, 32");
+  EXPECT_TRUE(writes_family(s, cx::RegFamily::XMM0));
+  EXPECT_TRUE(reads_family(s, cx::RegFamily::XMM1));
+  EXPECT_TRUE(reads_family(s, cx::RegFamily::XMM2));
+}
+
+TEST(X86Ext, FmaOrderingVariantsAllAccumulate) {
+  for (const char* line :
+       {"vfmadd132ss xmm0, xmm1, xmm2", "vfmadd213sd xmm3, xmm4, xmm5",
+        "vfnmadd231ss xmm6, xmm7, xmm8", "vfmsub231ss xmm0, xmm1, xmm2",
+        "vfmadd132ps ymm0, ymm1, ymm2"}) {
+    const auto s = sem_of(line);
+    // FMA destination is an accumulator: read and written.
+    EXPECT_TRUE(s.regs[0].read) << line;
+    EXPECT_TRUE(s.regs[0].write) << line;
+  }
+}
+
+// ---------- replacement candidates over the extended catalog ----------
+
+TEST(X86Ext, SetccFamilyMembersReplaceEachOther) {
+  const auto inst = cx::parse_instruction("sete al");
+  const auto repl = cx::replacement_opcodes(inst.opcode, inst.operands);
+  EXPECT_NE(std::find(repl.begin(), repl.end(), cx::Opcode::SETNE),
+            repl.end());
+  EXPECT_NE(std::find(repl.begin(), repl.end(), cx::Opcode::SETA), repl.end());
+}
+
+TEST(X86Ext, RorxNotReplaceableByFlagShifts) {
+  // rorx takes (r, r, imm8); legacy shifts take (r/m, imm8) — arity differs,
+  // so they must not appear as candidates.
+  const auto inst = cx::parse_instruction("rorx rax, rbx, 7");
+  const auto repl = cx::replacement_opcodes(inst.opcode, inst.operands);
+  EXPECT_EQ(std::find(repl.begin(), repl.end(), cx::Opcode::ROR), repl.end());
+  EXPECT_EQ(std::find(repl.begin(), repl.end(), cx::Opcode::SHL), repl.end());
+}
+
+TEST(X86Ext, XaddIsCandidateForAdd) {
+  const auto inst = cx::parse_instruction("add rax, rbx");
+  const auto repl = cx::replacement_opcodes(inst.opcode, inst.operands);
+  EXPECT_NE(std::find(repl.begin(), repl.end(), cx::Opcode::XADD), repl.end());
+}
+
+TEST(X86Ext, EveryNewOpcodeHasAtLeastOneSignature) {
+  for (const cx::Opcode op : cx::all_opcodes()) {
+    EXPECT_FALSE(cx::info(op).signatures.empty())
+        << cx::mnemonic(op) << " has no signatures";
+  }
+}
+
+TEST(X86Ext, MnemonicRoundTripOverFullCatalog) {
+  for (const cx::Opcode op : cx::all_opcodes()) {
+    const auto parsed = cx::parse_opcode(cx::mnemonic(op));
+    ASSERT_TRUE(parsed.has_value()) << cx::mnemonic(op);
+    EXPECT_EQ(*parsed, op);
+  }
+}
