@@ -4,10 +4,13 @@
 // simulators, the crude model, LSTM inference, and an end-to-end explain().
 #include <benchmark/benchmark.h>
 
+#include "bhive/generator.h"
 #include "bhive/paper_blocks.h"
 #include "core/comet.h"
 #include "cost/crude_model.h"
 #include "cost/granite_model.h"
+#include "cost/ithemal_model.h"
+#include "cost/query_broker.h"
 #include "graph/depgraph.h"
 #include "perturb/perturber.h"
 #include "riscv/explain.h"
@@ -109,6 +112,58 @@ void BM_GranitePredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GranitePredict);
+
+// --- batched query layer -----------------------------------------------
+
+std::vector<x86::BasicBlock> micro_corpus(std::size_t n) {
+  const bhive::BlockGenerator generator;
+  util::Rng rng(7);
+  std::vector<x86::BasicBlock> blocks;
+  blocks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) blocks.push_back(generator.generate(rng));
+  return blocks;
+}
+
+// Per-query LSTM inference through the sequential single-predict loop ...
+void BM_IthemalPredictLoop(benchmark::State& state) {
+  const cost::IthemalModel model(cost::MicroArch::Haswell);
+  const auto blocks = micro_corpus(64);
+  for (auto _ : state) {
+    for (const auto& b : blocks) benchmark::DoNotOptimize(model.predict(b));
+  }
+}
+BENCHMARK(BM_IthemalPredictLoop)->Unit(benchmark::kMicrosecond);
+
+// ... versus the vectorized predict_batch override (allocation-free
+// inference path).
+void BM_IthemalPredictBatch(benchmark::State& state) {
+  const cost::IthemalModel model(cost::MicroArch::Haswell);
+  const auto blocks = micro_corpus(64);
+  std::vector<double> out(blocks.size());
+  for (auto _ : state) {
+    model.predict_batch(std::span<const x86::BasicBlock>(blocks),
+                        std::span<double>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_IthemalPredictBatch)->Unit(benchmark::kMicrosecond);
+
+// The broker's memoization on top of batching, on a stream with repeats
+// (the shape of anchor-search traffic).
+void BM_BrokerMemoizedBatch(benchmark::State& state) {
+  const cost::IthemalModel model(cost::MicroArch::Haswell);
+  auto blocks = micro_corpus(16);
+  blocks.reserve(64);
+  for (std::size_t i = 16; i < 64; ++i) blocks.push_back(blocks[i % 16]);
+  std::vector<double> out(blocks.size());
+  for (auto _ : state) {
+    cost::QueryBroker<x86::BasicBlock, cost::CostModel> broker(model);
+    broker.predict_batch(std::span<const x86::BasicBlock>(blocks),
+                         std::span<double>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BrokerMemoizedBatch)->Unit(benchmark::kMicrosecond);
 
 void BM_BottleneckAnalysis(benchmark::State& state) {
   const auto block = bhive::listing3_case_study2();

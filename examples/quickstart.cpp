@@ -49,5 +49,13 @@ int main() {
               explanation.precision, explanation.coverage,
               explanation.met_threshold ? "yes" : "no");
   std::printf("  model queries used: %zu\n", explanation.model_queries);
+  // The engine issues all queries as batches through a memoizing broker;
+  // query_stats shows how few predictions actually reached the model.
+  std::printf("  broker: %zu requested, %zu evaluated, %zu memo hits, "
+              "%zu batches\n",
+              explanation.query_stats.requested,
+              explanation.query_stats.evaluated,
+              explanation.query_stats.cache_hits,
+              explanation.query_stats.batch_calls);
   return 0;
 }

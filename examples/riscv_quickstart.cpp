@@ -36,5 +36,8 @@ int main() {
   std::printf("  precision=%.2f coverage=%.2f threshold %s (%zu queries)\n",
               e.precision, e.coverage, e.met_threshold ? "met" : "NOT met",
               e.model_queries);
+  std::printf("  broker: %zu evaluated of %zu requested (%zu memo hits)\n",
+              e.query_stats.evaluated, e.query_stats.requested,
+              e.query_stats.cache_hits);
   return 0;
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# One-command tier-1 gate: configure, build (-Wall -Wextra are always on in
+# CMakeLists.txt), and run the full ctest suite.
+#
+#   scripts/check.sh            # incremental build into ./build
+#   scripts/check.sh --clean    # wipe ./build first
+#   COMET_CHECK_WERROR=1 scripts/check.sh   # promote warnings to errors
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${COMET_BUILD_DIR:-build}
+if [[ "${1:-}" == "--clean" ]]; then
+  rm -rf "$BUILD_DIR"
+fi
+
+CMAKE_ARGS=()
+if [[ "${COMET_CHECK_WERROR:-0}" == "1" ]]; then
+  CMAKE_ARGS+=(-DCOMET_WERROR=ON)
+fi
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+echo "check.sh: all green"

@@ -1,0 +1,375 @@
+// The single, ISA-generic anchor-search engine (paper Sections 5.2 and 7).
+//
+// COMET's central claim is that the explanation formalism is model-agnostic
+// and ISA-portable: the relaxed optimization problem (eq. 7)
+//
+//   F* = argmax_{F ⊆ P̂} Cov(F)   s.t.   Prec(F) ≥ 1 − δ
+//
+// and its Anchors-style solution — a bottom-up beam search over feature
+// sets whose per-level top-B identification runs the KL-LUCB best-arm
+// procedure (Kaufmann & Kalyanakrishnan 2013) — never mention the ISA.
+// This header is that claim made executable: AnchorEngine<Traits> contains
+// the whole search once, and an ISA plugs in through a traits type
+// providing its Block, Feature(Set), Perturber, cost-model type, and
+// options. The x86 CometExplainer and the RISC-V RvExplainer are both thin
+// instantiations; see core/comet.h and riscv/explain.h.
+//
+// The engine is batch-first: every model query it issues flows through a
+// cost::QueryBroker as part of a batch (arm pulls are whole perturbation
+// batches, never per-sample predict() calls), so vectorized predict_batch
+// overrides and the broker's memoization pay off across the thousands of
+// queries one explanation consumes.
+//
+// A traits type must provide:
+//   Block, Feature, FeatureSet      — ISA feature vocabulary (positional)
+//   Perturber, PerturbedBlock      — Γ for a fixed target block
+//   Model                           — cost model (predict / predict_batch)
+//   Options                         — derived from AnchorSearchOptions
+//   Explanation                     — result struct (features, precision,
+//                                     coverage, met_threshold,
+//                                     model_queries, query_stats)
+//   static FeatureSet extract_features(const Block&, const Options&)
+//   static Perturber make_perturber(const Block&, const Options&)
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "cost/query_broker.h"
+#include "util/kl_bounds.h"
+#include "util/rng.h"
+
+namespace comet::core {
+
+/// The ISA-independent knobs of the anchor search, shared by every
+/// instantiation (x86 CometOptions, RISC-V RvExplainOptions).
+struct AnchorSearchOptions {
+  /// ε-ball radius around M(β) (paper Appendix E: 0.5 cycles for real cost
+  /// models, ∆/4 = 0.25 for the crude model C).
+  double epsilon = 0.5;
+  /// Precision threshold is (1 − delta); the paper uses 0.7.
+  double delta = 0.3;
+
+  // -- KL-LUCB / beam-search hyperparameters (Anchors defaults) --
+  /// Use the adaptive KL-LUCB best-arm procedure to allocate the per-level
+  /// pull budget (design decision 4 in DESIGN.md). When false, the same
+  /// budget is spent uniformly round-robin across candidate arms — the
+  /// baseline the ablation bench compares against.
+  bool use_kl_lucb = true;
+  double lucb_confidence_delta = 0.1;  ///< bandit failure probability
+  double lucb_epsilon = 0.15;          ///< UB/LB separation tolerance
+  std::size_t batch_size = 12;         ///< perturbations per arm pull
+  std::size_t beam_width = 4;
+  std::size_t max_explanation_size = 3;
+  std::size_t max_pulls_per_level = 160;  ///< arm pulls per beam level
+
+  /// Samples drawn from D (=Γ(∅)) for coverage estimation. The paper uses
+  /// 10k; benches scale this down and report the value used.
+  std::size_t coverage_samples = 2000;
+  /// Extra samples to firm up the precision estimate of the final answer.
+  std::size_t final_precision_samples = 200;
+
+  /// Memoize model queries in the broker (block-text keyed). Identical
+  /// output either way for deterministic models; disabled only by tests
+  /// and ablations auditing the raw query volume.
+  bool memoize_queries = true;
+
+  std::uint64_t seed = 1;
+};
+
+template <typename Traits>
+class AnchorEngine {
+ public:
+  using Block = typename Traits::Block;
+  using Feature = typename Traits::Feature;
+  using FeatureSet = typename Traits::FeatureSet;
+  using Perturber = typename Traits::Perturber;
+  using PerturbedBlock = typename Traits::PerturbedBlock;
+  using Model = typename Traits::Model;
+  using Options = typename Traits::Options;
+  using Explanation = typename Traits::Explanation;
+  using Broker = cost::QueryBroker<Block, Model>;
+
+  /// `model` and `options` must outlive the engine.
+  AnchorEngine(const Model& model, const Options& options)
+      : model_(model), options_(options) {}
+
+  Explanation explain(const Block& block) const;
+
+  /// Standalone Monte-Carlo estimate of Prec(F) for a given feature set
+  /// (used by the Table 3 evaluation). Consumes `samples` model queries,
+  /// batched through a broker.
+  double estimate_precision(const Block& block, const FeatureSet& features,
+                            std::size_t samples, util::Rng& rng) const;
+
+  /// Standalone estimate of Cov(F) over `samples` unconstrained
+  /// perturbations (no model queries).
+  double estimate_coverage(const Block& block, const FeatureSet& features,
+                           std::size_t samples, util::Rng& rng) const;
+
+ private:
+  /// One bandit arm: a candidate feature set with its precision statistics.
+  struct Arm {
+    FeatureSet features;
+    std::size_t pulls = 0;  // samples drawn
+    std::size_t hits = 0;   // samples with |M(α) − M(β)| ≤ ε
+
+    double mean() const {
+      return pulls ? static_cast<double>(hits) / static_cast<double>(pulls)
+                   : 0.0;
+    }
+  };
+
+  const Model& model_;
+  const Options& options_;
+};
+
+template <typename Traits>
+double AnchorEngine<Traits>::estimate_precision(const Block& block,
+                                                const FeatureSet& features,
+                                                std::size_t samples,
+                                                util::Rng& rng) const {
+  const Perturber perturber = Traits::make_perturber(block, options_);
+  Broker broker(model_, options_.memoize_queries);
+  double base = 0.0;
+  broker.predict_batch(std::span<const Block>(&block, 1),
+                       std::span<double>(&base, 1));
+  std::vector<Block> batch;
+  batch.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    auto alpha = perturber.sample(features, rng);
+    if (alpha.block.empty()) continue;
+    batch.push_back(std::move(alpha.block));
+  }
+  std::vector<double> preds(batch.size());
+  broker.predict_batch(std::span<const Block>(batch),
+                       std::span<double>(preds));
+  std::size_t hits = 0;
+  for (const double p : preds) {
+    hits += std::abs(p - base) < options_.epsilon;
+  }
+  return samples ? static_cast<double>(hits) / static_cast<double>(samples)
+                 : 0.0;
+}
+
+template <typename Traits>
+double AnchorEngine<Traits>::estimate_coverage(const Block& block,
+                                               const FeatureSet& features,
+                                               std::size_t samples,
+                                               util::Rng& rng) const {
+  const Perturber perturber = Traits::make_perturber(block, options_);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto alpha = perturber.sample(FeatureSet{}, rng);
+    hits += perturber.contains(alpha, features);
+  }
+  return samples ? static_cast<double>(hits) / static_cast<double>(samples)
+                 : 0.0;
+}
+
+template <typename Traits>
+typename AnchorEngine<Traits>::Explanation AnchorEngine<Traits>::explain(
+    const Block& block) const {
+  util::Rng rng(options_.seed ^ util::fnv1a64(block.to_string().c_str()));
+  const Perturber perturber = Traits::make_perturber(block, options_);
+  Broker broker(model_, options_.memoize_queries);
+
+  double base = 0.0;
+  broker.predict_batch(std::span<const Block>(&block, 1),
+                       std::span<double>(&base, 1));
+  // Requested queries, counted with the historical semantics: every sample
+  // drawn from Γ costs one query whether or not it reached the model (empty
+  // perturbations are skipped, memo hits are served from cache). The true
+  // model traffic is in the broker's QueryStats.
+  std::size_t queries = 1;
+
+  // Candidate vocabulary P̂ (instruction features, dependency features, η).
+  const FeatureSet vocabulary = Traits::extract_features(block, options_);
+
+  // Shared coverage pool: samples from D = Γ(∅).
+  std::vector<PerturbedBlock> coverage_pool;
+  coverage_pool.reserve(options_.coverage_samples);
+  for (std::size_t i = 0; i < options_.coverage_samples; ++i) {
+    coverage_pool.push_back(perturber.sample(FeatureSet{}, rng));
+  }
+  const auto coverage_of = [&](const FeatureSet& fs) {
+    if (coverage_pool.empty()) return 0.0;
+    std::size_t hits = 0;
+    for (const auto& alpha : coverage_pool) {
+      hits += perturber.contains(alpha, fs);
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(coverage_pool.size());
+  };
+
+  // Draw one batch for an arm and update its statistics: sample the whole
+  // batch first, then score it with a single broker query.
+  std::vector<Block> batch;
+  std::vector<double> preds;
+  const auto pull = [&](Arm& arm) {
+    batch.clear();
+    for (std::size_t i = 0; i < options_.batch_size; ++i) {
+      auto alpha = perturber.sample(arm.features, rng);
+      ++queries;
+      if (alpha.block.empty()) continue;
+      batch.push_back(std::move(alpha.block));
+    }
+    preds.resize(batch.size());
+    broker.predict_batch(std::span<const Block>(batch),
+                         std::span<double>(preds));
+    for (const double p : preds) {
+      arm.hits += std::abs(p - base) < options_.epsilon;
+      ++arm.pulls;
+    }
+  };
+
+  const double threshold = 1.0 - options_.delta;
+  std::vector<Explanation> anchors_found;
+  std::vector<Arm> beam;  // current beam (feature sets of size = level)
+  Arm best_effort;        // highest-precision candidate seen anywhere
+  double best_effort_mean = -1.0;
+
+  for (std::size_t level = 1; level <= options_.max_explanation_size;
+       ++level) {
+    // --- build candidate arms by extending the beam (or singletons). ---
+    std::vector<Arm> arms;
+    const auto add_candidate = [&](const FeatureSet& fs) {
+      for (const auto& a : arms) {
+        if (a.features == fs) return;
+      }
+      Arm arm;
+      arm.features = fs;
+      arms.push_back(std::move(arm));
+    };
+    if (level == 1) {
+      for (const Feature& f : vocabulary.items()) {
+        add_candidate(FeatureSet{}.with(f));
+      }
+    } else {
+      for (const Arm& parent : beam) {
+        for (const Feature& f : vocabulary.items()) {
+          if (parent.features.contains(f)) continue;
+          add_candidate(parent.features.with(f));
+        }
+      }
+    }
+    if (arms.empty()) break;
+
+    // --- KL-LUCB: identify the top-B arms by precision. ---
+    for (auto& arm : arms) pull(arm);
+    std::size_t pulls_done = arms.size();
+    const std::size_t B = std::min(options_.beam_width, arms.size());
+    std::vector<std::size_t> order(arms.size());
+    // Uniform-allocation baseline (ablation): spend the same budget
+    // round-robin instead of adaptively.
+    std::size_t rr = 0;
+    while (!options_.use_kl_lucb &&
+           pulls_done < options_.max_pulls_per_level) {
+      pull(arms[rr++ % arms.size()]);
+      ++pulls_done;
+    }
+    while (options_.use_kl_lucb &&
+           pulls_done < options_.max_pulls_per_level) {
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return arms[a].mean() > arms[b].mean();
+      });
+      const double level_beta = util::kl_lucb_level(
+          pulls_done, arms.size(), options_.lucb_confidence_delta);
+      // Weakest member of the tentative top set.
+      std::size_t weakest = order[0];
+      double weakest_lb = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < B; ++i) {
+        const Arm& a = arms[order[i]];
+        const double lb = util::kl_lower_bound(a.mean(), a.pulls, level_beta);
+        if (lb < weakest_lb) {
+          weakest_lb = lb;
+          weakest = order[i];
+        }
+      }
+      // Strongest challenger outside the top set.
+      std::size_t challenger = order[0];
+      double challenger_ub = -std::numeric_limits<double>::infinity();
+      for (std::size_t i = B; i < order.size(); ++i) {
+        const Arm& a = arms[order[i]];
+        const double ub = util::kl_upper_bound(a.mean(), a.pulls, level_beta);
+        if (ub > challenger_ub) {
+          challenger_ub = ub;
+          challenger = order[i];
+        }
+      }
+      if (order.size() <= B ||
+          challenger_ub - weakest_lb < options_.lucb_epsilon) {
+        break;
+      }
+      pull(arms[weakest]);
+      pull(arms[challenger]);
+      pulls_done += 2;
+    }
+
+    // --- collect valid anchors at this level. ---
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return arms[a].mean() > arms[b].mean();
+    });
+    const double verify_beta =
+        std::log(1.0 / options_.lucb_confidence_delta);
+    for (std::size_t i = 0; i < std::min(B, order.size()); ++i) {
+      Arm& arm = arms[order[i]];
+      if (arm.mean() > best_effort_mean) {
+        best_effort_mean = arm.mean();
+        best_effort = arm;
+      }
+      if (arm.mean() < threshold) continue;
+      // Firm up the estimate before accepting the anchor.
+      while (arm.pulls < options_.final_precision_samples &&
+             util::kl_lower_bound(arm.mean(), arm.pulls, verify_beta) <
+                 threshold) {
+        pull(arm);
+      }
+      const bool lb_ok =
+          util::kl_lower_bound(arm.mean(), arm.pulls, verify_beta) >=
+          threshold;
+      if (lb_ok || arm.mean() >= threshold) {
+        Explanation e;
+        e.features = arm.features;
+        e.precision = arm.mean();
+        e.coverage = coverage_of(arm.features);
+        e.met_threshold = true;
+        anchors_found.push_back(std::move(e));
+      }
+    }
+    if (!anchors_found.empty()) break;  // smallest size wins (simplicity)
+
+    // --- next beam. ---
+    beam.clear();
+    for (std::size_t i = 0; i < std::min(B, order.size()); ++i) {
+      beam.push_back(arms[order[i]]);
+    }
+  }
+
+  Explanation result;
+  if (!anchors_found.empty()) {
+    // Maximum coverage among valid anchors (eq. 7).
+    const auto best = std::max_element(
+        anchors_found.begin(), anchors_found.end(),
+        [](const Explanation& a, const Explanation& b) {
+          return a.coverage < b.coverage;
+        });
+    result = *best;
+  } else {
+    // Best effort: highest-precision candidate seen.
+    result.features = best_effort.features;
+    result.precision = best_effort.mean();
+    result.coverage = coverage_of(best_effort.features);
+    result.met_threshold = false;
+  }
+  result.model_queries = queries;
+  result.query_stats = broker.stats();
+  return result;
+}
+
+}  // namespace comet::core

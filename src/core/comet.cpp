@@ -1,254 +1,27 @@
 #include "core/comet.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <vector>
-
-#include "util/kl_bounds.h"
-
 namespace comet::core {
-
-namespace {
-
-using graph::Feature;
-using graph::FeatureSet;
-using perturb::PerturbedBlock;
-using perturb::Perturber;
-
-/// One bandit arm: a candidate feature set with its precision statistics.
-struct Arm {
-  FeatureSet features;
-  std::size_t pulls = 0;   // samples drawn
-  std::size_t hits = 0;    // samples with |M(α) − M(β)| ≤ ε
-  double coverage = 0.0;
-
-  double mean() const {
-    return pulls ? static_cast<double>(hits) / static_cast<double>(pulls)
-                 : 0.0;
-  }
-};
-
-}  // namespace
 
 CometExplainer::CometExplainer(const cost::CostModel& model,
                                CometOptions options)
     : model_(model), options_(options) {}
 
 double CometExplainer::estimate_precision(const x86::BasicBlock& block,
-                                          const FeatureSet& features,
+                                          const graph::FeatureSet& features,
                                           std::size_t samples,
                                           util::Rng& rng) const {
-  const Perturber perturber(block, options_.graph_options,
-                            options_.perturb_config);
-  const double base = model_.predict(block);
-  std::size_t hits = 0;
-  for (std::size_t i = 0; i < samples; ++i) {
-    const auto alpha = perturber.sample(features, rng);
-    if (alpha.block.empty()) continue;
-    hits += std::abs(model_.predict(alpha.block) - base) < options_.epsilon;
-  }
-  return samples ? static_cast<double>(hits) / static_cast<double>(samples)
-                 : 0.0;
+  return engine().estimate_precision(block, features, samples, rng);
 }
 
 double CometExplainer::estimate_coverage(const x86::BasicBlock& block,
-                                         const FeatureSet& features,
+                                         const graph::FeatureSet& features,
                                          std::size_t samples,
                                          util::Rng& rng) const {
-  const Perturber perturber(block, options_.graph_options,
-                            options_.perturb_config);
-  std::size_t hits = 0;
-  for (std::size_t i = 0; i < samples; ++i) {
-    const auto alpha = perturber.sample(FeatureSet{}, rng);
-    hits += perturber.contains(alpha, features);
-  }
-  return samples ? static_cast<double>(hits) / static_cast<double>(samples)
-                 : 0.0;
+  return engine().estimate_coverage(block, features, samples, rng);
 }
 
 Explanation CometExplainer::explain(const x86::BasicBlock& block) const {
-  util::Rng rng(options_.seed ^ util::fnv1a64(block.to_string().c_str()));
-  const Perturber perturber(block, options_.graph_options,
-                            options_.perturb_config);
-  const double base = model_.predict(block);
-  std::size_t queries = 1;
-
-  // Candidate vocabulary P̂ (instruction features, dependency features, η).
-  const FeatureSet vocabulary =
-      graph::extract_features(block, options_.graph_options);
-
-  // Shared coverage pool: samples from D = Γ(∅).
-  std::vector<PerturbedBlock> coverage_pool;
-  coverage_pool.reserve(options_.coverage_samples);
-  for (std::size_t i = 0; i < options_.coverage_samples; ++i) {
-    coverage_pool.push_back(perturber.sample(FeatureSet{}, rng));
-  }
-  const auto coverage_of = [&](const FeatureSet& fs) {
-    if (coverage_pool.empty()) return 0.0;
-    std::size_t hits = 0;
-    for (const auto& alpha : coverage_pool) {
-      hits += perturber.contains(alpha, fs);
-    }
-    return static_cast<double>(hits) /
-           static_cast<double>(coverage_pool.size());
-  };
-
-  // Draw one batch for an arm and update its statistics.
-  const auto pull = [&](Arm& arm) {
-    for (std::size_t i = 0; i < options_.batch_size; ++i) {
-      const auto alpha = perturber.sample(arm.features, rng);
-      ++queries;
-      if (alpha.block.empty()) continue;
-      arm.hits +=
-          std::abs(model_.predict(alpha.block) - base) < options_.epsilon;
-      ++arm.pulls;
-    }
-  };
-
-  const double threshold = 1.0 - options_.delta;
-  std::vector<Explanation> anchors_found;
-  std::vector<Arm> beam;  // current beam (feature sets of size = level)
-  Arm best_effort;        // highest-precision candidate seen anywhere
-  double best_effort_mean = -1.0;
-
-  for (std::size_t level = 1; level <= options_.max_explanation_size;
-       ++level) {
-    // --- build candidate arms by extending the beam (or singletons). ---
-    std::vector<Arm> arms;
-    const auto add_candidate = [&](const FeatureSet& fs) {
-      for (const auto& a : arms) {
-        if (a.features == fs) return;
-      }
-      Arm arm;
-      arm.features = fs;
-      arms.push_back(std::move(arm));
-    };
-    if (level == 1) {
-      for (const Feature& f : vocabulary.items()) {
-        add_candidate(FeatureSet{}.with(f));
-      }
-    } else {
-      for (const Arm& parent : beam) {
-        for (const Feature& f : vocabulary.items()) {
-          if (parent.features.contains(f)) continue;
-          add_candidate(parent.features.with(f));
-        }
-      }
-    }
-    if (arms.empty()) break;
-
-    // --- KL-LUCB: identify the top-B arms by precision. ---
-    for (auto& arm : arms) pull(arm);
-    std::size_t pulls_done = arms.size();
-    const std::size_t B = std::min(options_.beam_width, arms.size());
-    std::vector<std::size_t> order(arms.size());
-    // Uniform-allocation baseline (ablation): spend the same budget
-    // round-robin instead of adaptively.
-    std::size_t rr = 0;
-    while (!options_.use_kl_lucb &&
-           pulls_done < options_.max_pulls_per_level) {
-      pull(arms[rr++ % arms.size()]);
-      ++pulls_done;
-    }
-    while (options_.use_kl_lucb &&
-           pulls_done < options_.max_pulls_per_level) {
-      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        return arms[a].mean() > arms[b].mean();
-      });
-      const double level_beta = util::kl_lucb_level(
-          pulls_done, arms.size(), options_.lucb_confidence_delta);
-      // Weakest member of the tentative top set.
-      std::size_t weakest = order[0];
-      double weakest_lb = std::numeric_limits<double>::infinity();
-      for (std::size_t i = 0; i < B; ++i) {
-        const Arm& a = arms[order[i]];
-        const double lb = util::kl_lower_bound(a.mean(), a.pulls, level_beta);
-        if (lb < weakest_lb) {
-          weakest_lb = lb;
-          weakest = order[i];
-        }
-      }
-      // Strongest challenger outside the top set.
-      std::size_t challenger = order[0];
-      double challenger_ub = -std::numeric_limits<double>::infinity();
-      for (std::size_t i = B; i < order.size(); ++i) {
-        const Arm& a = arms[order[i]];
-        const double ub = util::kl_upper_bound(a.mean(), a.pulls, level_beta);
-        if (ub > challenger_ub) {
-          challenger_ub = ub;
-          challenger = order[i];
-        }
-      }
-      if (order.size() <= B ||
-          challenger_ub - weakest_lb < options_.lucb_epsilon) {
-        break;
-      }
-      pull(arms[weakest]);
-      pull(arms[challenger]);
-      pulls_done += 2;
-    }
-
-    // --- collect valid anchors at this level. ---
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return arms[a].mean() > arms[b].mean();
-    });
-    const double verify_beta =
-        std::log(1.0 / options_.lucb_confidence_delta);
-    for (std::size_t i = 0; i < std::min(B, order.size()); ++i) {
-      Arm& arm = arms[order[i]];
-      if (arm.mean() > best_effort_mean) {
-        best_effort_mean = arm.mean();
-        best_effort = arm;
-      }
-      if (arm.mean() < threshold) continue;
-      // Firm up the estimate before accepting the anchor.
-      while (arm.pulls < options_.final_precision_samples &&
-             util::kl_lower_bound(arm.mean(), arm.pulls, verify_beta) <
-                 threshold) {
-        pull(arm);
-      }
-      const bool lb_ok =
-          util::kl_lower_bound(arm.mean(), arm.pulls, verify_beta) >=
-          threshold;
-      if (lb_ok || arm.mean() >= threshold) {
-        Explanation e;
-        e.features = arm.features;
-        e.precision = arm.mean();
-        e.coverage = coverage_of(arm.features);
-        e.met_threshold = true;
-        anchors_found.push_back(std::move(e));
-      }
-    }
-    if (!anchors_found.empty()) break;  // smallest size wins (simplicity)
-
-    // --- next beam. ---
-    beam.clear();
-    for (std::size_t i = 0; i < std::min(B, order.size()); ++i) {
-      beam.push_back(arms[order[i]]);
-    }
-  }
-
-  Explanation result;
-  if (!anchors_found.empty()) {
-    // Maximum coverage among valid anchors (eq. 7).
-    const auto best = std::max_element(
-        anchors_found.begin(), anchors_found.end(),
-        [](const Explanation& a, const Explanation& b) {
-          return a.coverage < b.coverage;
-        });
-    result = *best;
-  } else {
-    // Best effort: highest-precision candidate seen.
-    result.features = best_effort.features;
-    result.precision = best_effort.mean();
-    result.coverage = coverage_of(best_effort.features);
-    result.met_threshold = false;
-  }
-  result.model_queries = queries;
-  return result;
+  return engine().explain(block);
 }
 
 }  // namespace comet::core

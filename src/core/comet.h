@@ -1,4 +1,5 @@
-// COMET: the cost-model explanation engine (paper Section 5.2).
+// COMET: the cost-model explanation engine, x86 instantiation (paper
+// Section 5.2).
 //
 // Given query access to a cost model M and a target basic block β, COMET
 // solves the relaxed optimization problem (eq. 7):
@@ -8,54 +9,49 @@
 // where Prec(F) = Pr_{α ~ D_F}[ |M(α) − M(β)| ≤ ε ]  and
 //       Cov(F)  = Pr_{α ~ D}[ F ⊆ P̂(α) ].
 //
-// Following Anchors (Ribeiro et al. 2018), the search proceeds bottom-up
-// with a beam over feature sets; at each level the top-B candidates by
-// precision are identified with the KL-LUCB best-arm procedure (Kaufmann &
-// Kalyanakrishnan 2013), which adaptively allocates the model-query budget
-// to the arms whose confidence intervals actually matter. Candidates whose
-// precision *lower confidence bound* clears 1 − δ are valid anchors; among
-// valid anchors the maximum-coverage one is returned. Coverage is estimated
-// against a shared pool of unconstrained perturbations of β.
+// The search itself — Anchors-style bottom-up beam search with KL-LUCB
+// best-arm identification, batched through a query broker — lives in the
+// ISA-generic core/anchor_engine.h; CometExplainer is its x86
+// instantiation via X86AnchorTraits (the RISC-V port in riscv/explain.h is
+// the second one, exactly as the paper's Section 7 portability claim asks).
 #pragma once
 
 #include <cstdint>
-#include <memory>
 
+#include "core/anchor_engine.h"
 #include "core/explanation.h"
 #include "cost/cost_model.h"
 #include "perturb/perturber.h"
 
 namespace comet::core {
 
-struct CometOptions {
-  /// ε-ball radius around M(β) (paper Appendix E: 0.5 cycles for real cost
-  /// models, ∆/4 = 0.25 for the crude model C).
-  double epsilon = 0.5;
-  /// Precision threshold is (1 − delta); the paper uses 0.7.
-  double delta = 0.3;
-
-  // -- KL-LUCB / beam-search hyperparameters (Anchors defaults) --
-  /// Use the adaptive KL-LUCB best-arm procedure to allocate the per-level
-  /// pull budget (design decision 4 in DESIGN.md). When false, the same
-  /// budget is spent uniformly round-robin across candidate arms — the
-  /// baseline the ablation bench compares against.
-  bool use_kl_lucb = true;
-  double lucb_confidence_delta = 0.1;  ///< bandit failure probability
-  double lucb_epsilon = 0.15;          ///< UB/LB separation tolerance
-  std::size_t batch_size = 12;         ///< perturbations per arm pull
-  std::size_t beam_width = 4;
-  std::size_t max_explanation_size = 3;
-  std::size_t max_pulls_per_level = 160;  ///< arm pulls per beam level
-
-  /// Samples drawn from D (=Γ(∅)) for coverage estimation. The paper uses
-  /// 10k; benches scale this down and report the value used.
-  std::size_t coverage_samples = 2000;
-  /// Extra samples to firm up the precision estimate of the final answer.
-  std::size_t final_precision_samples = 200;
-
-  std::uint64_t seed = 1;
+/// Anchor-search options plus the x86-specific feature-extraction and
+/// perturbation configuration. The scalar search knobs (ε, δ, KL-LUCB
+/// budget, coverage samples, seed, ...) are inherited from the shared
+/// AnchorSearchOptions.
+struct CometOptions : AnchorSearchOptions {
   graph::DepGraphOptions graph_options;
   perturb::PerturbConfig perturb_config;
+};
+
+/// ISA-traits binding of the generic anchor engine to x86.
+struct X86AnchorTraits {
+  using Block = x86::BasicBlock;
+  using Feature = graph::Feature;
+  using FeatureSet = graph::FeatureSet;
+  using Perturber = perturb::Perturber;
+  using PerturbedBlock = perturb::PerturbedBlock;
+  using Model = cost::CostModel;
+  using Options = CometOptions;
+  using Explanation = core::Explanation;
+
+  static FeatureSet extract_features(const Block& block,
+                                     const Options& options) {
+    return graph::extract_features(block, options.graph_options);
+  }
+  static Perturber make_perturber(const Block& block, const Options& options) {
+    return Perturber(block, options.graph_options, options.perturb_config);
+  }
 };
 
 class CometExplainer {
@@ -82,6 +78,8 @@ class CometExplainer {
   const cost::CostModel& model() const { return model_; }
 
  private:
+  AnchorEngine<X86AnchorTraits> engine() const { return {model_, options_}; }
+
   const cost::CostModel& model_;
   CometOptions options_;
 };

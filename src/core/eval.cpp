@@ -86,9 +86,16 @@ ModelExplanationStats analyze_model(const cost::CostModel& model,
     with_inst += inst;
     with_dep += dep;
 
-    preds.push_back(model.predict(lb.block));
     actuals.push_back(lb.measured(uarch));
   }
+
+  // MAPE sweep over the test set, batched through the model.
+  std::vector<x86::BasicBlock> eval_blocks;
+  eval_blocks.reserve(test_set.size());
+  for (const auto& lb : test_set.blocks()) eval_blocks.push_back(lb.block);
+  preds.resize(eval_blocks.size());
+  model.predict_batch(std::span<const x86::BasicBlock>(eval_blocks),
+                      std::span<double>(preds));
 
   const double n = static_cast<double>(test_set.size());
   stats.blocks = test_set.size();

@@ -4,7 +4,9 @@
 #include <cstddef>
 #include <string>
 
+#include "cost/query_stats.h"
 #include "graph/features.h"
+#include "util/str.h"
 
 namespace comet::core {
 
@@ -17,10 +19,14 @@ struct Explanation {
   double coverage = 0.0;    ///< estimated Cov(F) (eq. 6)
   bool met_threshold = false;  ///< precision lower bound cleared 1-δ
   std::size_t model_queries = 0;  ///< cost-model evaluations consumed
+  /// Broker-side traffic accounting for the queries above (batches issued,
+  /// memoization hits, predictions actually evaluated).
+  cost::QueryStats query_stats;
 
   std::string to_string() const {
-    return features.to_string() + " (prec=" + std::to_string(precision) +
-           ", cov=" + std::to_string(coverage) + ")";
+    return features.to_string() +
+           " (prec=" + util::format_fixed(precision, 3) +
+           ", cov=" + util::format_fixed(coverage, 3) + ")";
   }
 };
 

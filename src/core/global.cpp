@@ -62,7 +62,6 @@ GlobalExplainer::GlobalExplainer(const cost::CostModel& model,
     throw std::invalid_argument("GlobalExplainer: empty corpus");
   }
   profiles_.reserve(corpus_.size());
-  predictions_.reserve(corpus_.size());
   for (const auto& block : corpus_) {
     BlockProfile p;
     p.opcode_present.assign(x86::kNumOpcodes, false);
@@ -77,8 +76,11 @@ GlobalExplainer::GlobalExplainer(const cost::CostModel& model,
     }
     p.num_insts = block.size();
     profiles_.push_back(std::move(p));
-    predictions_.push_back(model_.predict(block));
   }
+  // The one model sweep of a global explanation, issued as a single batch.
+  predictions_.resize(corpus_.size());
+  model_.predict_batch(std::span<const x86::BasicBlock>(corpus_),
+                       std::span<double>(predictions_));
 }
 
 bool GlobalExplainer::holds(const BlockProfile& p,

@@ -1,0 +1,15 @@
+#include "cost/cost_model.h"
+
+#include <cassert>
+
+namespace comet::cost {
+
+void CostModel::predict_batch(std::span<const x86::BasicBlock> blocks,
+                              std::span<double> out) const {
+  assert(blocks.size() == out.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    out[i] = predict(blocks[i]);
+  }
+}
+
+}  // namespace comet::cost

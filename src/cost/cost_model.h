@@ -6,9 +6,17 @@
 // predict(): every model in this repository — the crude analytical model C,
 // the pipeline simulators, and the trained LSTM — sits behind this one
 // interface, mirroring the paper's model-agnostic design.
+//
+// The interface is batch-first: the explanation engine issues whole sample
+// batches through predict_batch(), and models override it to amortize
+// per-query setup (the neural models run an allocation-free inference path,
+// the analytical models skip per-element virtual dispatch). predict() stays
+// the single-query entry point and the semantic ground truth: predict_batch
+// must agree with element-wise predict() exactly.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "x86/instruction.h"
@@ -28,6 +36,12 @@ class CostModel {
   /// Predicted cost (throughput, cycles per steady-state loop iteration)
   /// of executing `block` on this model's microarchitecture.
   virtual double predict(const x86::BasicBlock& block) const = 0;
+
+  /// Predict every block of `blocks` into the parallel `out` span
+  /// (out.size() must equal blocks.size()). The default is a sequential
+  /// element-wise fallback; models override it with a vectorized path.
+  virtual void predict_batch(std::span<const x86::BasicBlock> blocks,
+                             std::span<double> out) const;
 
   /// Human-readable model name ("ithemal", "uica", "crude", ...).
   virtual std::string name() const = 0;

@@ -29,6 +29,10 @@ class CrudeModel final : public CostModel {
                       graph::DepGraphOptions graph_options = {});
 
   double predict(const x86::BasicBlock& block) const override;
+  /// Batched prediction: one analytical pass per block without the
+  /// per-element virtual dispatch of the sequential default.
+  void predict_batch(std::span<const x86::BasicBlock> blocks,
+                     std::span<double> out) const override;
   std::string name() const override;
 
   MicroArch uarch() const { return uarch_; }

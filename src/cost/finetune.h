@@ -74,13 +74,10 @@ FinetuneResult finetune_with_perturbations(
   FinetuneResult result;
 
   const auto mape_now = [&] {
-    std::vector<double> preds, acts;
-    preds.reserve(blocks.size());
-    for (std::size_t i = 0; i < blocks.size(); ++i) {
-      preds.push_back(model.predict(blocks[i]));
-      acts.push_back(targets[i]);
-    }
-    return util::mape(preds, acts);
+    std::vector<double> preds(blocks.size());
+    model.predict_batch(std::span<const x86::BasicBlock>(blocks),
+                        std::span<double>(preds));
+    return util::mape(preds, targets);
   };
   result.mape_before = mape_now();
 

@@ -161,6 +161,13 @@ double GraniteModel::predict(const x86::BasicBlock& block) const {
   return forward(block).prediction;
 }
 
+void GraniteModel::predict_batch(std::span<const x86::BasicBlock> blocks,
+                                 std::span<double> out) const {
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    out[i] = blocks[i].empty() ? 0.0 : forward(blocks[i]).prediction;
+  }
+}
+
 std::string GraniteModel::name() const {
   return "granite-" + uarch_name(uarch_);
 }

@@ -137,6 +137,40 @@ double IthemalModel::predict(const x86::BasicBlock& block) const {
   return forward(block).prediction;
 }
 
+void IthemalModel::predict_batch(std::span<const x86::BasicBlock> blocks,
+                                 std::span<double> out) const {
+  // Scratch shared across the batch: the training-path forward() allocates
+  // a full BPTT cache per step, which inference never reads. This path
+  // keeps only the running (h, c) state per LSTM plus one pre-activation
+  // buffer, so the per-query cost is the matrix math alone.
+  std::vector<float> h_tok, c_tok, h_blk, c_blk, pre;
+  std::vector<std::vector<float>> xs, inst_embeds;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const x86::BasicBlock& block = blocks[b];
+    if (block.empty()) {
+      out[b] = 0.0;
+      continue;
+    }
+    const auto tokens = tokenizer_.tokenize(block);
+    inst_embeds.resize(tokens.size());
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      xs.resize(tokens[i].size());
+      for (std::size_t t = 0; t < tokens[i].size(); ++t) {
+        const float* row = embedding_.data() + tokens[i][t] * config_.embed_dim;
+        xs[t].assign(row, row + config_.embed_dim);
+      }
+      token_lstm_.run_final(xs, h_tok, c_tok, pre);
+      inst_embeds[i] = h_tok;
+    }
+    block_lstm_.run_final(inst_embeds, h_blk, c_blk, pre);
+    double y = head_b_.data()[0];
+    for (std::size_t i = 0; i < config_.hidden_dim; ++i) {
+      y += head_w_.data()[i] * h_blk[i];
+    }
+    out[b] = std::exp(std::clamp(y, -3.0, 5.0));
+  }
+}
+
 std::string IthemalModel::name() const {
   return "ithemal-" + uarch_name(uarch_);
 }

@@ -57,6 +57,12 @@ class IthemalModel final : public CostModel {
   explicit IthemalModel(MicroArch uarch, IthemalConfig config = {});
 
   double predict(const x86::BasicBlock& block) const override;
+  /// Vectorized batch inference: runs the hierarchical LSTM through an
+  /// allocation-free forward path (nn::LstmCell::run_final) with scratch
+  /// buffers shared across the whole batch. Element-wise equal to
+  /// predict().
+  void predict_batch(std::span<const x86::BasicBlock> blocks,
+                     std::span<double> out) const override;
   std::string name() const override;
   MicroArch uarch() const { return uarch_; }
 

@@ -1,0 +1,20 @@
+// Query-traffic counters maintained by the QueryBroker and carried on every
+// explanation. Split from query_broker.h so widely-included result types
+// (core::Explanation, riscv::RvExplanation) don't pull in the broker
+// template machinery.
+#pragma once
+
+#include <cstddef>
+
+namespace comet::cost {
+
+/// Query-traffic counters, all maintained by QueryBroker.
+struct QueryStats {
+  std::size_t requested = 0;    ///< predictions asked of the broker
+  std::size_t evaluated = 0;    ///< predictions actually run by the model
+  std::size_t cache_hits = 0;   ///< predictions served from the memo table
+  std::size_t batch_calls = 0;  ///< predict_batch() calls issued downstream
+  std::size_t single_calls = 0; ///< single predict() calls issued downstream
+};
+
+}  // namespace comet::cost

@@ -44,12 +44,21 @@ DiffSummary analyze_disagreements(const cost::CostModel& model_a,
   DiffSummary s;
   s.blocks_scanned = corpus.size();
 
-  for (const auto& block : corpus) {
+  // Scan predictions for the whole corpus in two batched sweeps (one per
+  // model) instead of two virtual calls per block.
+  std::vector<double> preds_a(corpus.size()), preds_b(corpus.size());
+  model_a.predict_batch(std::span<const x86::BasicBlock>(corpus),
+                        std::span<double>(preds_a));
+  model_b.predict_batch(std::span<const x86::BasicBlock>(corpus),
+                        std::span<double>(preds_b));
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto& block = corpus[i];
     if (block.empty()) continue;
     Disagreement d;
     d.block = block;
-    d.pred_a = model_a.predict(block);
-    d.pred_b = model_b.predict(block);
+    d.pred_a = preds_a[i];
+    d.pred_b = preds_b[i];
     const double lo = std::min(d.pred_a, d.pred_b);
     if (lo <= 0.0) continue;
     d.rel_gap = std::abs(d.pred_a - d.pred_b) / lo;

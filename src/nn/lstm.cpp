@@ -1,5 +1,6 @@
 #include "nn/lstm.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace comet::nn {
@@ -114,6 +115,35 @@ std::vector<LstmStepCache> LstmCell::run(
     c = caches.back().c;
   }
   return caches;
+}
+
+void LstmCell::run_final(const std::vector<std::vector<float>>& xs,
+                         std::vector<float>& h, std::vector<float>& c,
+                         std::vector<float>& pre) const {
+  const std::size_t H = hidden_dim_;
+  h.assign(H, 0.f);
+  c.assign(H, 0.f);
+  pre.resize(4 * H);
+  for (const auto& x : xs) {
+    std::fill(pre.begin(), pre.end(), 0.f);
+    affine(wx_, b_, x.data(), pre.data());
+    for (std::size_t r = 0; r < 4 * H; ++r) {
+      float acc = 0.f;
+      const float* row = wh_.data() + r * H;
+      for (std::size_t col = 0; col < H; ++col) acc += row[col] * h[col];
+      pre[r] += acc;
+    }
+    // Gate activations and state update in place; same operation order as
+    // forward(), so results match the training path bit-for-bit.
+    for (std::size_t i = 0; i < H; ++i) {
+      const float ig = sigmoidf(pre[i]);
+      const float fg = sigmoidf(pre[H + i]);
+      const float gg = std::tanh(pre[2 * H + i]);
+      const float og = sigmoidf(pre[3 * H + i]);
+      c[i] = fg * c[i] + ig * gg;
+      h[i] = og * std::tanh(c[i]);
+    }
+  }
 }
 
 std::vector<std::vector<float>> LstmCell::backward_sequence(

@@ -47,6 +47,15 @@ class LstmCell {
   std::vector<LstmStepCache> run(
       const std::vector<std::vector<float>>& xs) const;
 
+  /// Inference-only sequence run from zero state: leaves the final hidden
+  /// state in `h` (zeros for empty input) without materializing the BPTT
+  /// step caches. `h`, `c`, and `pre` are caller-owned scratch buffers
+  /// reused across calls, so a batched prediction loop allocates nothing
+  /// per sequence. Numerically identical to run(xs).back().h.
+  void run_final(const std::vector<std::vector<float>>& xs,
+                 std::vector<float>& h, std::vector<float>& c,
+                 std::vector<float>& pre) const;
+
   /// BPTT over a full sequence given the gradient of the final hidden state.
   /// Returns dL/dx for every step.
   std::vector<std::vector<float>> backward_sequence(

@@ -51,6 +51,13 @@ double RvCostModel::predict(const BasicBlock& block) const {
   return best;
 }
 
+void RvCostModel::predict_batch(std::span<const BasicBlock> blocks,
+                                std::span<double> out) const {
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    out[i] = predict(blocks[i]);
+  }
+}
+
 RvFeatureSet RvCostModel::ground_truth(const BasicBlock& block) const {
   constexpr double kTieTol = 1e-9;
   const double total = predict(block);

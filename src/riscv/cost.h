@@ -12,6 +12,7 @@
 // their endpoints, WAR/WAW are free after renaming.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "riscv/graph.h"
@@ -23,6 +24,10 @@ class RvCostModel {
   explicit RvCostModel(DepGraphOptions graph_options = {});
 
   double predict(const BasicBlock& block) const;
+  /// Batched prediction (element-wise equal to predict); the batch entry
+  /// point the query broker drives.
+  void predict_batch(std::span<const BasicBlock> blocks,
+                     std::span<double> out) const;
   std::string name() const { return "crude-rv64"; }
 
   double cost_num_insts(std::size_t n) const;

@@ -1,178 +1,29 @@
+// RvExplainer is a pure instantiation of the generic anchor engine; there
+// is deliberately no search logic in this file (the pre-redesign duplicate
+// of the beam-search/KL-LUCB loop lived here).
 #include "riscv/explain.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <vector>
-
-#include "util/kl_bounds.h"
-
 namespace comet::riscv {
-
-namespace {
-
-struct Arm {
-  RvFeatureSet features;
-  std::size_t pulls = 0;
-  std::size_t hits = 0;
-  double mean() const {
-    return pulls ? double(hits) / double(pulls) : 0.0;
-  }
-};
-
-}  // namespace
 
 RvExplainer::RvExplainer(const RvCostModel& model, RvExplainOptions options)
     : model_(model), options_(options) {}
 
 RvExplanation RvExplainer::explain(const BasicBlock& block) const {
-  util::Rng rng(options_.seed ^ util::fnv1a64(block.to_string().c_str()));
-  const RvPerturber perturber(block, options_.graph_options,
-                              options_.perturb_config);
-  const double base = model_.predict(block);
-  std::size_t queries = 1;
+  return engine().explain(block);
+}
 
-  const RvFeatureSet vocabulary =
-      extract_features(block, options_.graph_options);
+double RvExplainer::estimate_precision(const BasicBlock& block,
+                                       const RvFeatureSet& features,
+                                       std::size_t samples,
+                                       util::Rng& rng) const {
+  return engine().estimate_precision(block, features, samples, rng);
+}
 
-  std::vector<RvPerturbedBlock> coverage_pool;
-  coverage_pool.reserve(options_.coverage_samples);
-  for (std::size_t i = 0; i < options_.coverage_samples; ++i) {
-    coverage_pool.push_back(perturber.sample(RvFeatureSet{}, rng));
-  }
-  const auto coverage_of = [&](const RvFeatureSet& fs) {
-    if (coverage_pool.empty()) return 0.0;
-    std::size_t hits = 0;
-    for (const auto& alpha : coverage_pool) {
-      hits += perturber.contains(alpha, fs);
-    }
-    return double(hits) / double(coverage_pool.size());
-  };
-
-  const auto pull = [&](Arm& arm) {
-    for (std::size_t i = 0; i < options_.batch_size; ++i) {
-      const auto alpha = perturber.sample(arm.features, rng);
-      ++queries;
-      if (alpha.block.empty()) continue;
-      arm.hits +=
-          std::abs(model_.predict(alpha.block) - base) < options_.epsilon;
-      ++arm.pulls;
-    }
-  };
-
-  const double threshold = 1.0 - options_.delta;
-  std::vector<RvExplanation> anchors;
-  std::vector<Arm> beam;
-  Arm best_effort;
-  double best_effort_mean = -1.0;
-
-  for (std::size_t level = 1; level <= options_.max_explanation_size;
-       ++level) {
-    std::vector<Arm> arms;
-    const auto add_candidate = [&](const RvFeatureSet& fs) {
-      for (const auto& a : arms) {
-        if (a.features == fs) return;
-      }
-      Arm arm;
-      arm.features = fs;
-      arms.push_back(std::move(arm));
-    };
-    if (level == 1) {
-      for (const auto& f : vocabulary.items()) {
-        add_candidate(RvFeatureSet{}.with(f));
-      }
-    } else {
-      for (const Arm& parent : beam) {
-        for (const auto& f : vocabulary.items()) {
-          if (parent.features.contains(f)) continue;
-          add_candidate(parent.features.with(f));
-        }
-      }
-    }
-    if (arms.empty()) break;
-
-    for (auto& arm : arms) pull(arm);
-    std::size_t pulls_done = arms.size();
-    const std::size_t B = std::min(options_.beam_width, arms.size());
-    std::vector<std::size_t> order(arms.size());
-    while (pulls_done < options_.max_pulls_per_level) {
-      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-      std::sort(order.begin(), order.end(),
-                [&](std::size_t a, std::size_t b) {
-                  return arms[a].mean() > arms[b].mean();
-                });
-      const double level_beta = util::kl_lucb_level(
-          pulls_done, arms.size(), options_.lucb_confidence_delta);
-      std::size_t weakest = order[0];
-      double weakest_lb = std::numeric_limits<double>::infinity();
-      for (std::size_t i = 0; i < B; ++i) {
-        const Arm& a = arms[order[i]];
-        const double lb = util::kl_lower_bound(a.mean(), a.pulls, level_beta);
-        if (lb < weakest_lb) {
-          weakest_lb = lb;
-          weakest = order[i];
-        }
-      }
-      std::size_t challenger = order[0];
-      double challenger_ub = -std::numeric_limits<double>::infinity();
-      for (std::size_t i = B; i < order.size(); ++i) {
-        const Arm& a = arms[order[i]];
-        const double ub = util::kl_upper_bound(a.mean(), a.pulls, level_beta);
-        if (ub > challenger_ub) {
-          challenger_ub = ub;
-          challenger = order[i];
-        }
-      }
-      if (order.size() <= B ||
-          challenger_ub - weakest_lb < options_.lucb_epsilon) {
-        break;
-      }
-      pull(arms[weakest]);
-      pull(arms[challenger]);
-      pulls_done += 2;
-    }
-
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return arms[a].mean() > arms[b].mean();
-    });
-    for (std::size_t i = 0; i < std::min(B, order.size()); ++i) {
-      Arm& arm = arms[order[i]];
-      if (arm.mean() > best_effort_mean) {
-        best_effort_mean = arm.mean();
-        best_effort = arm;
-      }
-      if (arm.mean() < threshold) continue;
-      RvExplanation e;
-      e.features = arm.features;
-      e.precision = arm.mean();
-      e.coverage = coverage_of(arm.features);
-      e.met_threshold = true;
-      anchors.push_back(std::move(e));
-    }
-    if (!anchors.empty()) break;
-
-    beam.clear();
-    for (std::size_t i = 0; i < std::min(B, order.size()); ++i) {
-      beam.push_back(arms[order[i]]);
-    }
-  }
-
-  RvExplanation result;
-  if (!anchors.empty()) {
-    result = *std::max_element(anchors.begin(), anchors.end(),
-                               [](const RvExplanation& a,
-                                  const RvExplanation& b) {
-                                 return a.coverage < b.coverage;
-                               });
-  } else {
-    result.features = best_effort.features;
-    result.precision = best_effort.mean();
-    result.coverage = coverage_of(best_effort.features);
-    result.met_threshold = false;
-  }
-  result.model_queries = queries;
-  return result;
+double RvExplainer::estimate_coverage(const BasicBlock& block,
+                                      const RvFeatureSet& features,
+                                      std::size_t samples,
+                                      util::Rng& rng) const {
+  return engine().estimate_coverage(block, features, samples, rng);
 }
 
 }  // namespace comet::riscv

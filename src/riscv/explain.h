@@ -1,34 +1,41 @@
 // COMET's explanation engine mapped onto RISC-V (paper Section 7).
 //
 // The high-level formalism carries over unchanged, exactly as the paper
-// claims: the same relaxed optimization problem (eq. 7) — maximize coverage
-// subject to Prec(F) ≥ 1 − δ — solved by the same Anchors-style beam search
-// with KL-LUCB confidence bounds (shared verbatim via util/kl_bounds); only
-// the ISA-specific pieces (features, Γ) differ. Keeping the RV engine
-// separate from the x86 one makes the port's surface area explicit: this
-// file plus riscv/{isa,graph,perturb} is everything Section 7 asks for.
+// claims — and after the query-API redesign that is now literally true in
+// code: RvExplainer is the second instantiation of the one generic
+// core/anchor_engine.h search (beam search over feature sets, KL-LUCB
+// best-arm identification, batched model queries through a broker). Only
+// the ISA-specific pieces differ, and they enter through RvAnchorTraits:
+// the RISC-V features, dependency graph, perturbation algorithm Γ, and
+// analytical cost model. This file plus riscv/{isa,graph,perturb,cost} is
+// everything Section 7 asks for.
 #pragma once
 
 #include <cstdint>
 
+#include "core/anchor_engine.h"
+#include "cost/query_stats.h"
 #include "riscv/cost.h"
 #include "riscv/perturb.h"
 
 namespace comet::riscv {
 
-struct RvExplainOptions {
-  double epsilon = 0.25;  ///< quarter-cycle step of the analytical model
-  double delta = 0.3;
-  double lucb_confidence_delta = 0.1;
-  double lucb_epsilon = 0.15;
-  std::size_t batch_size = 12;
-  std::size_t beam_width = 4;
-  std::size_t max_explanation_size = 3;
-  std::size_t max_pulls_per_level = 160;
-  std::size_t coverage_samples = 800;
-  std::uint64_t seed = 1;
+/// The shared anchor-search options (core::AnchorSearchOptions) with
+/// RISC-V defaults — ε = 0.25, the quarter-cycle step of the analytical
+/// model, and a lighter coverage pool — plus the RISC-V graph/Γ config.
+struct RvExplainOptions : core::AnchorSearchOptions {
   DepGraphOptions graph_options;
   RvPerturbConfig perturb_config;
+
+  RvExplainOptions() {
+    epsilon = 0.25;
+    coverage_samples = 800;
+    // The analytical RV model is exact and deterministic, so the extra
+    // firm-up pass before accepting an anchor adds queries without
+    // information; 0 keeps the historical RV acceptance rule (raw mean
+    // against the threshold).
+    final_precision_samples = 0;
+  }
 };
 
 struct RvExplanation {
@@ -37,6 +44,28 @@ struct RvExplanation {
   double coverage = 0.0;
   bool met_threshold = false;
   std::size_t model_queries = 0;
+  /// Broker-side query-traffic accounting (batches, memo hits).
+  cost::QueryStats query_stats;
+};
+
+/// ISA-traits binding of the generic anchor engine to RISC-V.
+struct RvAnchorTraits {
+  using Block = BasicBlock;
+  using Feature = RvFeature;
+  using FeatureSet = RvFeatureSet;
+  using Perturber = RvPerturber;
+  using PerturbedBlock = RvPerturbedBlock;
+  using Model = RvCostModel;
+  using Options = RvExplainOptions;
+  using Explanation = RvExplanation;
+
+  static FeatureSet extract_features(const Block& block,
+                                     const Options& options) {
+    return riscv::extract_features(block, options.graph_options);
+  }
+  static Perturber make_perturber(const Block& block, const Options& options) {
+    return Perturber(block, options.graph_options, options.perturb_config);
+  }
 };
 
 class RvExplainer {
@@ -46,7 +75,23 @@ class RvExplainer {
 
   RvExplanation explain(const BasicBlock& block) const;
 
+  /// Standalone Monte-Carlo estimates (RISC-V analogues of the x86 Table 3
+  /// evaluation entry points).
+  double estimate_precision(const BasicBlock& block,
+                            const RvFeatureSet& features, std::size_t samples,
+                            util::Rng& rng) const;
+  double estimate_coverage(const BasicBlock& block,
+                           const RvFeatureSet& features, std::size_t samples,
+                           util::Rng& rng) const;
+
+  const RvExplainOptions& options() const { return options_; }
+  const RvCostModel& model() const { return model_; }
+
  private:
+  core::AnchorEngine<RvAnchorTraits> engine() const {
+    return {model_, options_};
+  }
+
   const RvCostModel& model_;
   RvExplainOptions options_;
 };

@@ -4,12 +4,31 @@
 
 namespace comet::sim {
 
+namespace {
+
+// Shared batch sweep for the three simulator-backed models: one simulator
+// configuration drives the whole batch without per-element virtual dispatch.
+void simulate_batch(std::span<const x86::BasicBlock> blocks,
+                    std::span<double> out, cost::MicroArch uarch,
+                    const SimOptions& options) {
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    out[i] = simulate_throughput(blocks[i], uarch, options);
+  }
+}
+
+}  // namespace
+
 HardwareOracle::HardwareOracle(cost::MicroArch uarch) : uarch_(uarch) {
   options_ = SimOptions{};  // full-detail configuration
 }
 
 double HardwareOracle::predict(const x86::BasicBlock& block) const {
   return simulate_throughput(block, uarch_, options_);
+}
+
+void HardwareOracle::predict_batch(std::span<const x86::BasicBlock> blocks,
+                                   std::span<double> out) const {
+  simulate_batch(blocks, out, uarch_, options_);
 }
 
 std::string HardwareOracle::name() const {
@@ -29,6 +48,11 @@ double UiCASimModel::predict(const x86::BasicBlock& block) const {
   return simulate_throughput(block, uarch_, options_);
 }
 
+void UiCASimModel::predict_batch(std::span<const x86::BasicBlock> blocks,
+                                 std::span<double> out) const {
+  simulate_batch(blocks, out, uarch_, options_);
+}
+
 std::string UiCASimModel::name() const {
   return "uica-" + cost::uarch_name(uarch_);
 }
@@ -43,6 +67,11 @@ McaLikeModel::McaLikeModel(cost::MicroArch uarch) : uarch_(uarch) {
 
 double McaLikeModel::predict(const x86::BasicBlock& block) const {
   return simulate_throughput(block, uarch_, options_);
+}
+
+void McaLikeModel::predict_batch(std::span<const x86::BasicBlock> blocks,
+                                 std::span<double> out) const {
+  simulate_batch(blocks, out, uarch_, options_);
 }
 
 std::string McaLikeModel::name() const {

@@ -23,6 +23,8 @@ class HardwareOracle final : public cost::CostModel {
  public:
   explicit HardwareOracle(cost::MicroArch uarch);
   double predict(const x86::BasicBlock& block) const override;
+  void predict_batch(std::span<const x86::BasicBlock> blocks,
+                     std::span<double> out) const override;
   std::string name() const override;
   cost::MicroArch uarch() const { return uarch_; }
 
@@ -35,6 +37,8 @@ class UiCASimModel final : public cost::CostModel {
  public:
   explicit UiCASimModel(cost::MicroArch uarch);
   double predict(const x86::BasicBlock& block) const override;
+  void predict_batch(std::span<const x86::BasicBlock> blocks,
+                     std::span<double> out) const override;
   std::string name() const override;
   cost::MicroArch uarch() const { return uarch_; }
 
@@ -47,6 +51,8 @@ class McaLikeModel final : public cost::CostModel {
  public:
   explicit McaLikeModel(cost::MicroArch uarch);
   double predict(const x86::BasicBlock& block) const override;
+  void predict_batch(std::span<const x86::BasicBlock> blocks,
+                     std::span<double> out) const override;
   std::string name() const override;
 
  private:

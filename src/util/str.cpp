@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 
 namespace comet::util {
 
@@ -58,6 +59,17 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
     if (i) out += sep;
     out += parts[i];
   }
+  return out;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  if (n < 0) return {};
+  if (static_cast<std::size_t>(n) < sizeof(buf)) return std::string(buf, n);
+  // Rare huge magnitudes: retry with an exactly-sized buffer.
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, "%.*f", decimals, value);
   return out;
 }
 

@@ -1,0 +1,172 @@
+// Tests for the unified, ISA-generic anchor engine: golden-seed parity with
+// the pre-refactor x86 engine, and the invariant that every engine-issued
+// model query flows through the query broker's batch path.
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "core/comet.h"
+#include "riscv/cost.h"
+#include "riscv/explain.h"
+#include "riscv/parser.h"
+#include "x86/parser.h"
+
+namespace cc = comet::core;
+namespace cg = comet::graph;
+namespace ck = comet::cost;
+namespace cx = comet::x86;
+namespace rv = comet::riscv;
+
+namespace {
+
+// The controlled model of the original engine tests: cost depends on
+// exactly one feature, presence of a div.
+class DivOnlyModel final : public ck::CostModel {
+ public:
+  double predict(const cx::BasicBlock& block) const override {
+    for (const auto& inst : block.instructions) {
+      if (inst.opcode == cx::Opcode::DIV || inst.opcode == cx::Opcode::IDIV) {
+        return 20.0;
+      }
+    }
+    return 1.0;
+  }
+  std::string name() const override { return "div-only"; }
+};
+
+// Flags any single-predict query and counts batch traffic, to verify the
+// engine's query discipline end to end.
+class BatchAuditModel final : public ck::CostModel {
+ public:
+  double predict(const cx::BasicBlock&) const override {
+    ++single_queries;
+    return 1.0;
+  }
+  void predict_batch(std::span<const cx::BasicBlock> blocks,
+                     std::span<double> out) const override {
+    ++batch_calls;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      double v = 1.0;
+      for (const auto& inst : blocks[i].instructions) {
+        if (inst.opcode == cx::Opcode::DIV) v = 20.0;
+      }
+      out[i] = v;
+    }
+  }
+  std::string name() const override { return "batch-audit"; }
+
+  mutable std::size_t single_queries = 0;
+  mutable std::size_t batch_calls = 0;
+};
+
+cx::BasicBlock golden_block() {
+  return cx::parse_block(R"(
+    mov rax, 5
+    div rcx
+    add rsi, rdi
+    mov r8, r9
+    sub r10, r11
+  )");
+}
+
+cc::CometOptions golden_options() {
+  cc::CometOptions opt;
+  opt.coverage_samples = 300;
+  opt.final_precision_samples = 120;
+  opt.seed = 11;
+  opt.epsilon = 1.0;
+  return opt;
+}
+
+}  // namespace
+
+// ---------- golden-seed parity with the pre-refactor engine ----------
+
+// Recorded from the monolithic pre-refactor CometExplainer::explain at this
+// exact seed/options/block: the redesigned engine must be a drop-in — same
+// anchor, same threshold outcome, same precision/coverage estimates, and
+// the same requested-query count (the refactor batches queries, it must not
+// add or remove any).
+TEST(AnchorEngine, GoldenSeedParityWithPreRefactorEngine) {
+  const DivOnlyModel model;
+  const cc::CometExplainer explainer(model, golden_options());
+  const auto expl = explainer.explain(golden_block());
+
+  cg::FeatureSet expected;
+  expected.insert(cg::Feature(cg::InstFeature{1, cx::Opcode::DIV}));
+  EXPECT_EQ(expl.features, expected) << expl.features.to_string();
+  EXPECT_TRUE(expl.met_threshold);
+  EXPECT_DOUBLE_EQ(expl.precision, 1.0);
+  EXPECT_NEAR(expl.coverage, 0.6333333333333333, 1e-12);
+  EXPECT_EQ(expl.model_queries, 1933u);
+}
+
+// ---------- all engine queries are batched through the broker ----------
+
+TEST(AnchorEngine, AllQueriesFlowThroughBatchedBroker) {
+  const BatchAuditModel model;
+  cc::CometOptions opt = golden_options();
+  const cc::CometExplainer explainer(model, opt);
+  const auto expl = explainer.explain(golden_block());
+
+  // The model never saw a single-predict call, only batches...
+  EXPECT_EQ(model.single_queries, 0u);
+  EXPECT_GT(model.batch_calls, 0u);
+  // ...and the broker's ledger agrees: batch calls only, with memoization
+  // absorbing part of the requested volume.
+  EXPECT_EQ(expl.query_stats.single_calls, 0u);
+  EXPECT_EQ(expl.query_stats.batch_calls, model.batch_calls);
+  EXPECT_GT(expl.query_stats.requested, 0u);
+  EXPECT_GT(expl.query_stats.cache_hits, 0u);
+  EXPECT_EQ(expl.query_stats.evaluated,
+            expl.query_stats.requested - expl.query_stats.cache_hits);
+  // Requested broker traffic can never exceed the engine's query count
+  // (which also charges for empty perturbations that skip the model).
+  EXPECT_LE(expl.query_stats.requested, expl.model_queries);
+}
+
+TEST(AnchorEngine, RiscvInstantiationUsesTheSameBrokerDiscipline) {
+  const rv::RvCostModel model;
+  const rv::RvExplainer explainer(model, {});
+  const auto e = explainer.explain(rv::parse_block(R"(
+    add a0, a1, a2
+    div a3, a0, a4
+    addi a5, a3, 1
+  )"));
+  EXPECT_EQ(e.query_stats.single_calls, 0u);
+  EXPECT_GT(e.query_stats.batch_calls, 0u);
+  EXPECT_GT(e.query_stats.cache_hits, 0u);
+  EXPECT_LE(e.query_stats.evaluated, e.query_stats.requested);
+}
+
+// ---------- estimator parity across the shared engine ----------
+
+TEST(AnchorEngine, RvEstimatorsAreExposedAndBounded) {
+  const rv::RvCostModel model;
+  const rv::RvExplainer explainer(model, {});
+  const auto block = rv::parse_block("add a0, a1, a2\nmul a3, a0, a4");
+  const auto vocab = rv::extract_features(block);
+  ASSERT_FALSE(vocab.empty());
+  rv::RvFeatureSet fs;
+  fs.insert(vocab.items().front());
+  comet::util::Rng rng(3);
+  const double prec = explainer.estimate_precision(block, fs, 200, rng);
+  const double cov = explainer.estimate_coverage(block, fs, 200, rng);
+  EXPECT_GE(prec, 0.0);
+  EXPECT_LE(prec, 1.0);
+  EXPECT_GE(cov, 0.0);
+  EXPECT_LE(cov, 1.0);
+}
+
+// ---------- explanation rendering (fixed 3-decimal format) ----------
+
+TEST(Explanation, ToStringUsesFixedThreeDecimalFormat) {
+  cc::Explanation e;
+  e.features.insert(cg::Feature(cg::NumInstsFeature{4}));
+  e.precision = 0.7251;
+  e.coverage = 1.0 / 3.0;
+  const std::string s = e.to_string();
+  EXPECT_NE(s.find("prec=0.725"), std::string::npos) << s;
+  EXPECT_NE(s.find("cov=0.333"), std::string::npos) << s;
+  EXPECT_EQ(s.find("0.725100"), std::string::npos) << s;
+}

@@ -47,7 +47,9 @@ class DivKeyedModel final : public CostModel {
 class RawKeyedModel final : public CostModel {
  public:
   double predict(const cx::BasicBlock& block) const override {
-    for (const auto& e : cg::DepGraph::build(block).edges()) {
+    // Bind the graph: iterating edges() of the temporary would dangle.
+    const auto graph = cg::DepGraph::build(block);
+    for (const auto& e : graph.edges()) {
       if (e.kind == cg::DepKind::RAW) return 5.0;
     }
     return 1.0;

@@ -103,7 +103,9 @@ TEST_P(BlockProperty, EveryPerturbationIsValidIsa) {
     std::size_t prev = cp::PerturbedBlock::npos;
     for (std::size_t i = 0; i < pb.orig_index.size(); ++i) {
       EXPECT_LT(pb.orig_index[i], block.size());
-      if (i > 0) EXPECT_GT(pb.orig_index[i], prev);
+      if (i > 0) {
+        EXPECT_GT(pb.orig_index[i], prev);
+      }
       prev = pb.orig_index[i];
     }
   }

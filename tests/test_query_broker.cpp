@@ -1,0 +1,193 @@
+// Tests for the batched query layer: predict_batch element-wise parity for
+// every model in the zoo, QueryBroker memoization/dedup/accounting, and the
+// invariance of explanation output under broker memoization.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "bhive/generator.h"
+#include "core/comet.h"
+#include "core/model_zoo.h"
+#include "cost/crude_model.h"
+#include "cost/granite_model.h"
+#include "cost/ithemal_model.h"
+#include "cost/query_broker.h"
+#include "riscv/cost.h"
+#include "riscv/generator.h"
+#include "x86/parser.h"
+
+namespace cc = comet::core;
+namespace ck = comet::cost;
+namespace cx = comet::x86;
+namespace rv = comet::riscv;
+using comet::util::Rng;
+
+namespace {
+
+std::vector<cx::BasicBlock> sample_blocks(std::size_t n) {
+  const comet::bhive::BlockGenerator generator;
+  std::vector<cx::BasicBlock> blocks;
+  Rng rng(321);
+  for (std::size_t i = 0; i < n; ++i) {
+    blocks.push_back(generator.generate(rng));
+  }
+  // An empty block exercises the models' empty-input convention.
+  blocks.push_back(cx::BasicBlock{});
+  return blocks;
+}
+
+void expect_batch_matches_elementwise(const ck::CostModel& model,
+                                      const std::vector<cx::BasicBlock>& bs) {
+  std::vector<double> batch(bs.size());
+  model.predict_batch(std::span<const cx::BasicBlock>(bs),
+                      std::span<double>(batch));
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], model.predict(bs[i]))
+        << model.name() << " block " << i;
+  }
+}
+
+/// Counts how queries reach the model: through the batch entry point or
+/// through single predict() calls.
+class CountingModel final : public ck::CostModel {
+ public:
+  double predict(const cx::BasicBlock& block) const override {
+    ++single_queries;
+    return 1.0 + static_cast<double>(block.size());
+  }
+  void predict_batch(std::span<const cx::BasicBlock> blocks,
+                     std::span<double> out) const override {
+    ++batch_calls;
+    batch_queries += blocks.size();
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      out[i] = 1.0 + static_cast<double>(blocks[i].size());
+    }
+  }
+  std::string name() const override { return "counting"; }
+
+  mutable std::size_t single_queries = 0;
+  mutable std::size_t batch_calls = 0;
+  mutable std::size_t batch_queries = 0;
+};
+
+}  // namespace
+
+// ---------- predict_batch == element-wise predict, whole model zoo ----------
+
+TEST(PredictBatch, MatchesElementwiseForCheapZooModels) {
+  const auto blocks = sample_blocks(30);
+  for (const auto kind : {cc::ModelKind::UiCA, cc::ModelKind::Oracle,
+                          cc::ModelKind::Mca, cc::ModelKind::Crude}) {
+    for (const auto uarch :
+         {ck::MicroArch::Haswell, ck::MicroArch::Skylake}) {
+      const auto model = cc::make_model(kind, uarch);
+      ASSERT_NE(model, nullptr);
+      expect_batch_matches_elementwise(*model, blocks);
+    }
+  }
+}
+
+TEST(PredictBatch, MatchesElementwiseForIthemal) {
+  // Untrained weights are deterministic per seed; inference parity between
+  // the cached training forward and the allocation-free batch path is what
+  // is under test, and it must be exact.
+  const ck::IthemalModel model(ck::MicroArch::Haswell);
+  expect_batch_matches_elementwise(model, sample_blocks(20));
+}
+
+TEST(PredictBatch, MatchesElementwiseForGranite) {
+  const ck::GraniteModel model(ck::MicroArch::Haswell);
+  expect_batch_matches_elementwise(model, sample_blocks(20));
+}
+
+TEST(PredictBatch, MatchesElementwiseForRiscv) {
+  const rv::RvCostModel model;
+  const auto corpus = rv::generate_corpus(25, 5);
+  std::vector<double> batch(corpus.size());
+  model.predict_batch(std::span<const rv::BasicBlock>(corpus),
+                      std::span<double>(batch));
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], model.predict(corpus[i]));
+  }
+}
+
+// ---------- QueryBroker ----------
+
+TEST(QueryBroker, MemoizesRepeatQueries) {
+  const CountingModel model;
+  ck::QueryBroker<cx::BasicBlock, ck::CostModel> broker(model);
+  const auto block = cx::parse_block("add rcx, rax\nmov rdx, rcx");
+  const std::vector<cx::BasicBlock> batch{block, block, block};
+  std::vector<double> out(batch.size());
+  broker.predict_batch(std::span<const cx::BasicBlock>(batch),
+                       std::span<double>(out));
+  broker.predict_batch(std::span<const cx::BasicBlock>(batch),
+                       std::span<double>(out));
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+  // Six requested, one evaluated: two in-batch duplicates + three repeats.
+  EXPECT_EQ(broker.stats().requested, 6u);
+  EXPECT_EQ(broker.stats().evaluated, 1u);
+  EXPECT_EQ(broker.stats().cache_hits, 5u);
+  EXPECT_EQ(model.batch_queries, 1u);
+  EXPECT_EQ(model.single_queries, 0u);
+}
+
+TEST(QueryBroker, NoMemoizationStillBatches) {
+  const CountingModel model;
+  ck::QueryBroker<cx::BasicBlock, ck::CostModel> broker(model,
+                                                        /*memoize=*/false);
+  const auto block = cx::parse_block("add rcx, rax");
+  const std::vector<cx::BasicBlock> batch{block, block};
+  std::vector<double> out(batch.size());
+  broker.predict_batch(std::span<const cx::BasicBlock>(batch),
+                       std::span<double>(out));
+  EXPECT_EQ(broker.stats().evaluated, 2u);
+  EXPECT_EQ(broker.stats().cache_hits, 0u);
+  EXPECT_EQ(broker.stats().batch_calls, 1u);
+  EXPECT_EQ(model.batch_calls, 1u);
+}
+
+TEST(QueryBroker, SinglePathCountsSeparately) {
+  const CountingModel model;
+  ck::QueryBroker<cx::BasicBlock, ck::CostModel> broker(model);
+  const auto block = cx::parse_block("add rcx, rax");
+  EXPECT_DOUBLE_EQ(broker.predict_one(block), 2.0);
+  EXPECT_DOUBLE_EQ(broker.predict_one(block), 2.0);  // memo hit
+  EXPECT_EQ(broker.stats().single_calls, 1u);
+  EXPECT_EQ(broker.stats().cache_hits, 1u);
+  EXPECT_EQ(model.single_queries, 1u);
+}
+
+// ---------- memoization does not change explanation output ----------
+
+TEST(QueryBroker, MemoizationInvariantExplanation) {
+  const ck::CrudeModel model(ck::MicroArch::Haswell);
+  cc::CometOptions opt;
+  opt.epsilon = 0.25;
+  opt.coverage_samples = 300;
+  opt.final_precision_samples = 120;
+  opt.seed = 17;
+  cc::CometOptions no_memo = opt;
+  no_memo.memoize_queries = false;
+
+  const auto block = cx::parse_block(R"(
+    mov rbx, 5
+    add rsi, rdi
+    div rcx
+    mov r8, r9
+  )");
+  const auto with = cc::CometExplainer(model, opt).explain(block);
+  const auto without = cc::CometExplainer(model, no_memo).explain(block);
+  EXPECT_EQ(with.features, without.features);
+  EXPECT_DOUBLE_EQ(with.precision, without.precision);
+  EXPECT_DOUBLE_EQ(with.coverage, without.coverage);
+  EXPECT_EQ(with.met_threshold, without.met_threshold);
+  EXPECT_EQ(with.model_queries, without.model_queries);
+  // Memoization strictly reduces evaluated queries on a search that
+  // revisits perturbations; the requested volume is identical.
+  EXPECT_EQ(with.query_stats.requested, without.query_stats.requested);
+  EXPECT_LT(with.query_stats.evaluated, without.query_stats.evaluated);
+  EXPECT_GT(with.query_stats.cache_hits, 0u);
+}

@@ -317,3 +317,11 @@ TEST(Str, Join) {
   EXPECT_EQ(cu::join({"a", "b", "c"}, ", "), "a, b, c");
   EXPECT_EQ(cu::join({}, ","), "");
 }
+
+TEST(Str, FormatFixed) {
+  EXPECT_EQ(cu::format_fixed(0.6333333333, 3), "0.633");
+  EXPECT_EQ(cu::format_fixed(1.0, 3), "1.000");
+  EXPECT_EQ(cu::format_fixed(0.0, 2), "0.00");
+  EXPECT_EQ(cu::format_fixed(-2.5, 1), "-2.5");
+  EXPECT_EQ(cu::format_fixed(12.3456, 0), "12");
+}
