@@ -1,0 +1,207 @@
+// Serving-throughput bench: requests/sec of the concurrent explanation
+// server vs. the sequential path, at 1/2/4/8 workers.
+//
+// The regime that motivates the serve/ subsystem (ROADMAP: async broker,
+// sharded serving) is a model backend whose per-query latency is not this
+// process's CPU — a remote inference service, a simulator farm, a
+// measurement rig. serve::RemoteStandInModel reproduces that regime
+// portably (including on single-core CI runners) by charging a fixed
+// round-trip per predict_batch call on top of the real crude/oracle
+// models; predictions are untouched, so every served explanation is
+// verified bit-identical to its sequentially computed twin.
+//
+// Also measured, same reasoning: the engine's fused-arm-pull mode
+// (engine-level batch widening — fewer round-trips per level) and the
+// async-pipelined mode (sampling overlaps evaluation) on the sequential
+// path.
+//
+// Acceptance gate printed explicitly: >= 2x throughput at 4 workers vs.
+// sequential, with bit-identical results.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bhive/paper_blocks.h"
+#include "cost/crude_model.h"
+#include "serve/isa_servers.h"
+#include "serve/remote_model.h"
+#include "sim/models.h"
+
+namespace cb = comet::bhive;
+namespace cc = comet::core;
+namespace ck = comet::cost;
+namespace cs = comet::serve;
+namespace cx = comet::x86;
+using comet::bench::print_header;
+using comet::bench::scaled;
+using comet::util::Table;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct Request {
+  std::string key;
+  cx::BasicBlock block;
+  cc::CometOptions options;
+};
+
+cc::CometOptions serving_options(std::uint64_t seed) {
+  cc::CometOptions opt;
+  opt.epsilon = 0.25;
+  opt.coverage_samples = scaled(200);
+  opt.batch_size = 8;
+  opt.max_pulls_per_level = 48;
+  opt.final_precision_samples = 64;
+  opt.seed = seed;
+  return opt;
+}
+
+bool identical(const cc::Explanation& a, const cc::Explanation& b) {
+  return a.features == b.features && a.precision == b.precision &&
+         a.coverage == b.coverage && a.met_threshold == b.met_threshold &&
+         a.model_queries == b.model_queries;
+}
+
+}  // namespace
+
+int main() {
+  constexpr auto kRoundTrip = std::chrono::microseconds(3000);
+
+  auto crude =
+      std::make_shared<const ck::CrudeModel>(ck::MicroArch::Haswell);
+  auto oracle =
+      std::make_shared<const comet::sim::HardwareOracle>(ck::MicroArch::Haswell);
+  auto remote_crude =
+      std::make_shared<const cs::RemoteStandInModel>(crude, kRoundTrip);
+  auto remote_oracle =
+      std::make_shared<const cs::RemoteStandInModel>(oracle, kRoundTrip);
+
+  const std::vector<cx::BasicBlock> blocks = {
+      cb::listing1_motivating(),    cb::listing2_case_study1(),
+      cb::listing3_case_study2(),   cb::listing4_appendixF_beta1(),
+      cb::listing5_appendixF_beta2(),
+  };
+  std::vector<Request> requests;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    requests.push_back({"crude-hsw", blocks[i], serving_options(10 + i)});
+    requests.push_back({"oracle-hsw", blocks[i], serving_options(20 + i)});
+  }
+
+  print_header(
+      "Serving throughput: concurrent explanation server vs. sequential",
+      "remote-backend stand-in, round-trip = " +
+          std::to_string(kRoundTrip.count()) + " us/batch, " +
+          std::to_string(requests.size()) + " requests (crude + oracle, " +
+          std::to_string(blocks.size()) + " paper blocks)");
+
+  const auto model_for = [&](const std::string& key) {
+    return key == "crude-hsw"
+               ? std::static_pointer_cast<const ck::CostModel>(remote_crude)
+               : std::static_pointer_cast<const ck::CostModel>(remote_oracle);
+  };
+
+  // ---- sequential baseline (and the parity reference) ----
+  std::vector<cc::Explanation> reference;
+  const auto seq_start = Clock::now();
+  for (const auto& r : requests) {
+    reference.push_back(
+        cc::CometExplainer(*model_for(r.key), r.options).explain(r.block));
+  }
+  const double seq_ms = ms_since(seq_start);
+
+  // ---- served at 1/2/4/8 workers ----
+  Table table({"workers", "wall ms", "req/s", "speedup", "bit-identical"});
+  table.add_row({"sequential", Table::fmt(seq_ms, 1),
+                 Table::fmt(1000.0 * requests.size() / seq_ms, 2), "1.00x",
+                 "-"});
+  double speedup_at_4 = 0.0;
+  bool all_identical = true;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    cs::X86ExplanationServer server(
+        {.workers = workers, .queue_capacity = requests.size()});
+    server.register_model("crude-hsw", remote_crude);
+    server.register_model("oracle-hsw", remote_oracle);
+    const auto start = Clock::now();
+    std::vector<std::uint64_t> tickets;
+    for (const auto& r : requests) {
+      tickets.push_back(server.submit(r.key, r.block, r.options));
+    }
+    const auto results = server.drain();
+    const double wall_ms = ms_since(start);
+
+    bool ok = results.size() == requests.size();
+    for (const auto& served : results) {
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        if (tickets[i] == served.id) {
+          ok = ok && identical(served.explanation, reference[i]);
+        }
+      }
+    }
+    all_identical = all_identical && ok;
+    const double speedup = seq_ms / wall_ms;
+    if (workers == 4) speedup_at_4 = speedup;
+    table.add_row({std::to_string(workers), Table::fmt(wall_ms, 1),
+                   Table::fmt(1000.0 * requests.size() / wall_ms, 2),
+                   Table::fmt(speedup, 2) + "x", ok ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("speedup at 4 workers = %.2fx (target >= 2x): %s\n",
+              speedup_at_4,
+              speedup_at_4 >= 2.0 && all_identical ? "PASS" : "FAIL");
+
+  // ---- engine-level levers on the sequential path ----
+  // Widened batches (fuse_arm_pulls) cut the number of round-trips each
+  // level pays; async pipelining (async_inflight) overlaps sampling with
+  // the backend round-trip. Both are bit-identical to the plain path.
+  print_header("Engine-level levers vs. the same remote backend",
+               "sequential path, crude model, same requests");
+  std::size_t plain_trips = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].key == "crude-hsw") {
+      plain_trips += reference[i].query_stats.batch_calls;
+    }
+  }
+  Table levers({"mode", "wall ms", "round-trips", "identical"});
+  const auto run_mode = [&](const std::string& label, bool fuse,
+                            std::size_t inflight) {
+    std::size_t trips = 0;
+    bool ok = true;
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (requests[i].key != "crude-hsw") continue;
+      cc::CometOptions opt = requests[i].options;
+      opt.fuse_arm_pulls = fuse;
+      opt.async_inflight = inflight;
+      const auto e =
+          cc::CometExplainer(*remote_crude, opt).explain(requests[i].block);
+      trips += e.query_stats.batch_calls;
+      ok = ok && identical(e, reference[i]);
+    }
+    levers.add_row({label, Table::fmt(ms_since(start), 1),
+                    std::to_string(trips), ok ? "yes" : "NO"});
+  };
+  {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (requests[i].key != "crude-hsw") continue;
+      cc::CometExplainer(*remote_crude, requests[i].options)
+          .explain(requests[i].block);
+    }
+    levers.add_row({"plain", Table::fmt(ms_since(start), 1),
+                    std::to_string(plain_trips), "-"});
+  }
+  run_mode("fused arm pulls", /*fuse=*/true, /*inflight=*/0);
+  run_mode("async inflight=3", /*fuse=*/false, /*inflight=*/3);
+  std::printf("%s\n", levers.to_string().c_str());
+
+  return 0;
+}

@@ -4,14 +4,27 @@
 #
 #   scripts/check.sh            # incremental build into ./build
 #   scripts/check.sh --clean    # wipe ./build first
+#   scripts/check.sh --tsan     # ThreadSanitizer pass over the serving
+#                               # tests (separate ./build-tsan tree)
 #   COMET_CHECK_WERROR=1 scripts/check.sh   # promote warnings to errors
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${COMET_BUILD_DIR:-build}
-if [[ "${1:-}" == "--clean" ]]; then
+TSAN_DIR=${COMET_TSAN_BUILD_DIR:-build-tsan}
+TSAN=0
+CLEAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --clean) CLEAN=1 ;;
+    --tsan)  TSAN=1 ;;
+    *) echo "check.sh: unknown flag '$arg'" >&2; exit 2 ;;
+  esac
+done
+if [[ "$CLEAN" == "1" ]]; then
   rm -rf "$BUILD_DIR"
+  [[ "$TSAN" == "1" ]] && rm -rf "$TSAN_DIR"
 fi
 
 CMAKE_ARGS=()
@@ -20,6 +33,22 @@ if [[ "${COMET_CHECK_WERROR:-0}" == "1" ]]; then
 fi
 
 JOBS=$(nproc 2>/dev/null || echo 4)
+
+if [[ "$TSAN" == "1" ]]; then
+  # Race-detection pass over the concurrent serving subsystem (and the
+  # query broker underneath it). Uses its own build tree so the regular
+  # incremental build stays sanitizer-free.
+  cmake -B "$TSAN_DIR" -S . -DCOMET_TSAN=ON "${CMAKE_ARGS[@]}"
+  TSAN_TARGETS=$(cmake --build "$TSAN_DIR" --target help 2>/dev/null || true)
+  if ! grep -qw test_serve <<<"$TSAN_TARGETS"; then
+    echo "check.sh: GTest not found - serving test targets unavailable" >&2
+    exit 1
+  fi
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve test_query_broker
+  ctest --test-dir "$TSAN_DIR" --output-on-failure -R 'test_serve|test_query_broker'
+  echo "check.sh: tsan serving pass green"
+  exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"

@@ -35,10 +35,19 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <deque>
 #include <limits>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "cost/query_broker.h"
+// Deliberate upward dependency: the engine's async_inflight mode pipelines
+// its arm pulls through serve::AsyncBroker (a thin futures layer over the
+// QueryBroker above; it does not include anything from core/, so the
+// include graph stays acyclic even though serve/'s scheduler builds on
+// this engine).
+#include "serve/async_broker.h"
 #include "util/kl_bounds.h"
 #include "util/rng.h"
 
@@ -76,6 +85,23 @@ struct AnchorSearchOptions {
   /// output either way for deterministic models; disabled only by tests
   /// and ablations auditing the raw query volume.
   bool memoize_queries = true;
+
+  /// Engine-level batch widening: fuse the per-level initial arm pulls,
+  /// and each KL-LUCB round's two separating-arm pulls (weakest member +
+  /// strongest challenger), into single broker batches. Sampling order is
+  /// unchanged, so the explanation and its requested/evaluated/cache-hit
+  /// accounting are bit-identical to the unfused path — only batch_calls
+  /// drops, which is the round-trip count a remote or sharded backend
+  /// pays per level.
+  bool fuse_arm_pulls = false;
+
+  /// When > 0, route engine queries through a serve::AsyncBroker and
+  /// pipeline the per-level initial arm pulls with up to this many batches
+  /// in flight: the engine samples arm k+1's perturbation batch while arm
+  /// k's batch evaluates on the broker worker. Evaluation stays FIFO on
+  /// one worker, so results and query accounting are bit-identical to the
+  /// synchronous path. 0 = synchronous (default).
+  std::size_t async_inflight = 0;
 
   std::uint64_t seed = 1;
 };
@@ -173,13 +199,34 @@ double AnchorEngine<Traits>::estimate_coverage(const Block& block,
 template <typename Traits>
 typename AnchorEngine<Traits>::Explanation AnchorEngine<Traits>::explain(
     const Block& block) const {
+  // Per-request determinism: the engine owns its RNG, seeded from the
+  // caller's options and the block text, and its broker (below) is private
+  // to this call — so concurrently served requests are bit-identical to
+  // the same requests run sequentially.
   util::Rng rng(options_.seed ^ util::fnv1a64(block.to_string().c_str()));
   const Perturber perturber = Traits::make_perturber(block, options_);
   Broker broker(model_, options_.memoize_queries);
 
+  // In async mode all traffic flows through one AsyncBroker wrapping the
+  // same broker (single FIFO evaluation worker: one cache, one ledger,
+  // deterministic accounting); the initial per-level arm pulls additionally
+  // pipeline sampling against evaluation.
+  using Async = serve::AsyncBroker<Block, Model>;
+  std::unique_ptr<Async> async;
+  if (options_.async_inflight > 0) {
+    async = std::make_unique<Async>(broker, /*workers=*/1);
+  }
+  const auto eval = [&](std::span<const Block> blocks,
+                        std::span<double> out) {
+    if (async) {
+      async->predict_batch(blocks, out);
+    } else {
+      broker.predict_batch(blocks, out);
+    }
+  };
+
   double base = 0.0;
-  broker.predict_batch(std::span<const Block>(&block, 1),
-                       std::span<double>(&base, 1));
+  eval(std::span<const Block>(&block, 1), std::span<double>(&base, 1));
   // Requested queries, counted with the historical semantics: every sample
   // drawn from Γ costs one query whether or not it reached the model (empty
   // perturbations are skipped, memo hits are served from cache). The true
@@ -206,24 +253,55 @@ typename AnchorEngine<Traits>::Explanation AnchorEngine<Traits>::explain(
   };
 
   // Draw one batch for an arm and update its statistics: sample the whole
-  // batch first, then score it with a single broker query.
+  // batch first, then score it with a single broker query. In fused mode
+  // (engine-level batch widening) a whole group of arms samples first and
+  // is scored by ONE broker query — same sampling order, same results,
+  // fewer round-trips.
   std::vector<Block> batch;
   std::vector<double> preds;
-  const auto pull = [&](Arm& arm) {
-    batch.clear();
+  std::vector<std::size_t> cuts;
+  const auto sample_into = [&](Arm& arm, std::vector<Block>& dst) {
     for (std::size_t i = 0; i < options_.batch_size; ++i) {
       auto alpha = perturber.sample(arm.features, rng);
       ++queries;
       if (alpha.block.empty()) continue;
-      batch.push_back(std::move(alpha.block));
+      dst.push_back(std::move(alpha.block));
     }
-    preds.resize(batch.size());
-    broker.predict_batch(std::span<const Block>(batch),
-                         std::span<double>(preds));
-    for (const double p : preds) {
+  };
+  const auto score = [&](Arm& arm, std::span<const double> arm_preds) {
+    for (const double p : arm_preds) {
       arm.hits += std::abs(p - base) < options_.epsilon;
       ++arm.pulls;
     }
+  };
+  const auto pull_group = [&](std::span<Arm* const> group) {
+    if (options_.fuse_arm_pulls) {
+      batch.clear();
+      cuts.clear();
+      cuts.push_back(0);
+      for (Arm* arm : group) {
+        sample_into(*arm, batch);
+        cuts.push_back(batch.size());
+      }
+      preds.resize(batch.size());
+      eval(std::span<const Block>(batch), std::span<double>(preds));
+      for (std::size_t g = 0; g < group.size(); ++g) {
+        score(*group[g], std::span<const double>(preds).subspan(
+                             cuts[g], cuts[g + 1] - cuts[g]));
+      }
+    } else {
+      for (Arm* arm : group) {
+        batch.clear();
+        sample_into(*arm, batch);
+        preds.resize(batch.size());
+        eval(std::span<const Block>(batch), std::span<double>(preds));
+        score(*arm, preds);
+      }
+    }
+  };
+  const auto pull = [&](Arm& arm) {
+    Arm* one = &arm;
+    pull_group(std::span<Arm* const>(&one, 1));
   };
 
   const double threshold = 1.0 - options_.delta;
@@ -259,7 +337,31 @@ typename AnchorEngine<Traits>::Explanation AnchorEngine<Traits>::explain(
     if (arms.empty()) break;
 
     // --- KL-LUCB: identify the top-B arms by precision. ---
-    for (auto& arm : arms) pull(arm);
+    // Every candidate gets one initial pull. This fan-out is decision-free
+    // (no arm's batch depends on another's result), so it admits both
+    // widening (fuse all batches into one) and pipelining (sample arm k+1
+    // while arm k evaluates).
+    std::vector<Arm*> all_arms(arms.size());
+    for (std::size_t i = 0; i < arms.size(); ++i) all_arms[i] = &arms[i];
+    if (async && !options_.fuse_arm_pulls) {
+      std::deque<std::pair<Arm*, std::future<std::vector<double>>>> inflight;
+      const auto collect_one = [&] {
+        auto [arm, fut] = std::move(inflight.front());
+        inflight.pop_front();
+        const std::vector<double> arm_preds = fut.get();
+        score(*arm, arm_preds);
+      };
+      for (Arm* arm : all_arms) {
+        std::vector<Block> arm_batch;
+        arm_batch.reserve(options_.batch_size);
+        sample_into(*arm, arm_batch);
+        inflight.emplace_back(arm, async->submit(std::move(arm_batch)));
+        while (inflight.size() > options_.async_inflight) collect_one();
+      }
+      while (!inflight.empty()) collect_one();
+    } else {
+      pull_group(std::span<Arm* const>(all_arms));
+    }
     std::size_t pulls_done = arms.size();
     const std::size_t B = std::min(options_.beam_width, arms.size());
     std::vector<std::size_t> order(arms.size());
@@ -305,8 +407,9 @@ typename AnchorEngine<Traits>::Explanation AnchorEngine<Traits>::explain(
           challenger_ub - weakest_lb < options_.lucb_epsilon) {
         break;
       }
-      pull(arms[weakest]);
-      pull(arms[challenger]);
+      // The round's separating arms; one fused batch in widened mode.
+      Arm* separating[2] = {&arms[weakest], &arms[challenger]};
+      pull_group(std::span<Arm* const>(separating, 2));
       pulls_done += 2;
     }
 

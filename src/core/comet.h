@@ -56,6 +56,11 @@ struct X86AnchorTraits {
 
 class CometExplainer {
  public:
+  /// The engine traits this explainer instantiates — the hook the serving
+  /// layer uses: serve::ExplanationServer<CometExplainer::Traits> schedules
+  /// concurrent x86 explanation sessions over the same engine.
+  using Traits = X86AnchorTraits;
+
   /// `model` must outlive the explainer.
   CometExplainer(const cost::CostModel& model, CometOptions options = {});
 

@@ -19,6 +19,20 @@
 // The broker is templated over (Block, Model) so the same code serves the
 // x86 CostModel hierarchy and the RISC-V analytical model: any pair where
 // Block has to_string() and Model has predict()/predict_batch() works.
+//
+// Thread-safety contract:
+//   * A QueryBroker instance is NOT thread-safe: the memo table, the stats
+//     ledger, and the scratch buffers are unsynchronized. Confine each
+//     broker to one thread at a time (serve::AsyncBroker serializes access
+//     through its worker; serve::ShardedBrokerPool gives every shard its
+//     own broker touched only by that shard's thread).
+//   * The broker only ever calls const methods on the model, so a single
+//     model instance may back many brokers on many threads provided its
+//     predict()/predict_batch() are const-thread-safe (true for every
+//     model in this repository: they use only locals and const members).
+//   * The broker does not own the model; whoever builds a broker pool owns
+//     the per-shard model instances and keeps them alive (see
+//     serve::ShardedBrokerPool's factory).
 #pragma once
 
 #include <cstddef>
@@ -38,7 +52,18 @@ class QueryBroker {
   /// batching and accounting remain); results are identical either way for
   /// deterministic models.
   explicit QueryBroker(const Model& model, bool memoize = true)
+      : model_(&model), memoize_(memoize) {}
+
+  /// Pointer variant for pool construction (per-shard ownership lives in
+  /// the pool; the broker stays non-owning). `model` must be non-null and
+  /// outlive the broker.
+  explicit QueryBroker(const Model* model, bool memoize = true)
       : model_(model), memoize_(memoize) {}
+
+  // Movable (so brokers can live in pool containers), not copyable (a
+  // copied memo table would double-count traffic in merged stats).
+  QueryBroker(QueryBroker&&) noexcept = default;
+  QueryBroker& operator=(QueryBroker&&) noexcept = default;
 
   /// Predict every block of `blocks` into the parallel `out` span.
   /// Cache misses are deduplicated and evaluated in one predict_batch()
@@ -49,7 +74,7 @@ class QueryBroker {
     if (!memoize_) {
       stats_.evaluated += blocks.size();
       ++stats_.batch_calls;
-      model_.predict_batch(blocks, out);
+      model_->predict_batch(blocks, out);
       return;
     }
     miss_blocks_.clear();
@@ -79,8 +104,8 @@ class QueryBroker {
       miss_out_.resize(miss_blocks_.size());
       stats_.evaluated += miss_blocks_.size();
       ++stats_.batch_calls;
-      model_.predict_batch(std::span<const Block>(miss_blocks_),
-                           std::span<double>(miss_out_));
+      model_->predict_batch(std::span<const Block>(miss_blocks_),
+                            std::span<double>(miss_out_));
       for (std::size_t s = 0; s < miss_keys_.size(); ++s) {
         cache_.emplace(std::move(miss_keys_[s]), miss_out_[s]);
       }
@@ -104,19 +129,19 @@ class QueryBroker {
     }
     ++stats_.evaluated;
     ++stats_.single_calls;
-    const double v = model_.predict(block);
+    const double v = model_->predict(block);
     if (memoize_) cache_.emplace(std::move(key), v);
     return v;
   }
 
   const QueryStats& stats() const { return stats_; }
   void reset_stats() { stats_ = QueryStats{}; }
-  const Model& model() const { return model_; }
+  const Model& model() const { return *model_; }
 
  private:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-  const Model& model_;
+  const Model* model_;
   bool memoize_;
   QueryStats stats_;
   std::unordered_map<std::string, double> cache_;

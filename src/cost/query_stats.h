@@ -2,9 +2,14 @@
 // explanation. Split from query_broker.h so widely-included result types
 // (core::Explanation, riscv::RvExplanation) don't pull in the broker
 // template machinery.
+//
+// The counters are plain sums, so stats from independent brokers (one per
+// shard of a serve::ShardedBrokerPool, one per served request) merge with
+// operator+= into a single load-accounting ledger.
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 namespace comet::cost {
 
@@ -15,6 +20,34 @@ struct QueryStats {
   std::size_t cache_hits = 0;   ///< predictions served from the memo table
   std::size_t batch_calls = 0;  ///< predict_batch() calls issued downstream
   std::size_t single_calls = 0; ///< single predict() calls issued downstream
+
+  /// Merge another broker's ledger into this one (per-shard / per-request
+  /// aggregation for the sharded pool and the explanation server).
+  QueryStats& operator+=(const QueryStats& other) {
+    requested += other.requested;
+    evaluated += other.evaluated;
+    cache_hits += other.cache_hits;
+    batch_calls += other.batch_calls;
+    single_calls += other.single_calls;
+    return *this;
+  }
+
+  friend QueryStats operator+(QueryStats lhs, const QueryStats& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+
+  friend bool operator==(const QueryStats&, const QueryStats&) = default;
+
+  /// One-line human-readable form for bench output and server drain
+  /// reports.
+  std::string to_string() const {
+    return "requested=" + std::to_string(requested) +
+           " evaluated=" + std::to_string(evaluated) +
+           " cache_hits=" + std::to_string(cache_hits) +
+           " batch_calls=" + std::to_string(batch_calls) +
+           " single_calls=" + std::to_string(single_calls);
+  }
 };
 
 }  // namespace comet::cost

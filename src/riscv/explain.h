@@ -70,6 +70,11 @@ struct RvAnchorTraits {
 
 class RvExplainer {
  public:
+  /// The engine traits this explainer instantiates — the hook the serving
+  /// layer uses: serve::ExplanationServer<RvExplainer::Traits> schedules
+  /// concurrent RISC-V explanation sessions over the same engine.
+  using Traits = RvAnchorTraits;
+
   /// `model` must outlive the explainer.
   RvExplainer(const RvCostModel& model, RvExplainOptions options = {});
 

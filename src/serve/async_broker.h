@@ -1,0 +1,99 @@
+// AsyncBroker: a futures-based submit/collect interface over a
+// cost::QueryBroker, backed by a fixed thread pool.
+//
+// The synchronous broker forces the explanation engine to alternate
+// strictly between sampling (CPU-bound perturbation generation) and model
+// evaluation (potentially slow: simulators, the LSTM, remote backends).
+// AsyncBroker decouples the two: the caller submits a sampled batch and
+// receives a std::future, then keeps sampling the next batch while a pool
+// worker pushes the submitted one through the underlying QueryBroker. The
+// KL-LUCB loop uses exactly this to pipeline its per-level arm pulls (see
+// AnchorSearchOptions::async_inflight in core/anchor_engine.h).
+//
+// Ordering and determinism: batches are evaluated in submission (FIFO)
+// order. With the default single evaluation worker the memo cache and the
+// QueryStats ledger evolve exactly as they would under synchronous calls
+// in the same order, so results AND query accounting are bit-identical to
+// the sequential path. With more workers, batches still *start* in FIFO
+// order but serialize on the broker mutex in acquisition order, so the
+// values stay exact while cache-hit counts may vary run to run — opt in
+// only where the ledger isn't asserted.
+//
+// The broker reference form lets an engine route all of its traffic — sync
+// and async — through one shared cache and one ledger; the owning form is
+// for standalone use (benches, tests).
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cost/query_broker.h"
+#include "serve/thread_pool.h"
+
+namespace comet::serve {
+
+template <typename Block, typename Model>
+class AsyncBroker {
+ public:
+  using Broker = cost::QueryBroker<Block, Model>;
+
+  /// Wrap an existing broker (non-owning; `broker` must outlive this and
+  /// must not be used directly by the caller while async jobs are in
+  /// flight — route everything through this interface instead).
+  explicit AsyncBroker(Broker& broker, std::size_t workers = 1)
+      : broker_(&broker), pool_(workers) {}
+
+  /// Own a fresh broker over `model` (which must outlive this).
+  AsyncBroker(const Model& model, bool memoize, std::size_t workers = 1)
+      : owned_(std::make_unique<Broker>(model, memoize)),
+        broker_(owned_.get()),
+        pool_(workers) {}
+
+  /// Submit one batch for evaluation; collect with .get() on the returned
+  /// future. The batch is taken by value so the caller can immediately
+  /// reuse its buffers for sampling the next one.
+  std::future<std::vector<double>> submit(std::vector<Block> blocks) {
+    auto task = std::make_shared<std::packaged_task<std::vector<double>()>>(
+        [this, blocks = std::move(blocks)]() mutable {
+          std::vector<double> out(blocks.size());
+          std::lock_guard<std::mutex> lock(broker_mutex_);
+          broker_->predict_batch(std::span<const Block>(blocks),
+                                 std::span<double>(out));
+          return out;
+        });
+    std::future<std::vector<double>> result = task->get_future();
+    pool_.post([task] { (*task)(); });
+    return result;
+  }
+
+  /// Synchronous convenience: submit and wait. Queued behind any batches
+  /// already in flight, so mixing submit() and predict_batch() preserves
+  /// FIFO evaluation order.
+  void predict_batch(std::span<const Block> blocks, std::span<double> out) {
+    const std::vector<double> result =
+        submit(std::vector<Block>(blocks.begin(), blocks.end())).get();
+    for (std::size_t i = 0; i < result.size(); ++i) out[i] = result[i];
+  }
+
+  /// Ledger snapshot. Only consistent when no batch is mid-evaluation;
+  /// call after collecting all outstanding futures.
+  cost::QueryStats stats() {
+    std::lock_guard<std::mutex> lock(broker_mutex_);
+    return broker_->stats();
+  }
+
+  std::size_t workers() const { return pool_.size(); }
+
+ private:
+  std::unique_ptr<Broker> owned_;  // null in the wrapping form
+  Broker* broker_;
+  std::mutex broker_mutex_;  // serializes pool workers on the one broker
+  ThreadPool pool_;
+};
+
+}  // namespace comet::serve

@@ -1,0 +1,255 @@
+// ExplanationServer: the request scheduler at the top of the serving stack
+//
+//     scheduler  →  per-model-kind pools  →  shards  →  models
+//
+// It accepts a stream of (block, model-key, options) jobs, multiplexes them
+// over a fixed set of worker threads (one AnchorEngine run per job), and
+// delivers explanations in completion order. Model keys name registered
+// model instances — typically one per (model kind, µarch) pair, each either
+// a plain const-thread-safe model shared by all workers or a
+// serve::ShardedCostModel whose own shard threads parallelize every batch
+// the engines issue.
+//
+// Flow control: admission goes through a bounded queue. submit() blocks
+// until space frees up (backpressure propagates to the producer);
+// try_submit() is the non-blocking variant and returns false when the
+// queue is full. Shutdown is a graceful drain — every accepted job is
+// explained before the workers join, and drain() lets callers wait for
+// exactly that without destroying the server.
+//
+// Determinism: each job's engine owns its RNG, seeded from the job's
+// options and block (see AnchorEngine::explain), and each job's broker is
+// private to the worker running it, so a served explanation is
+// bit-identical to one computed sequentially with the same (block, model,
+// options) — regardless of worker count or completion order. Tests assert
+// this.
+//
+// The server is templated over the same ISA traits as the engine, so the
+// one scheduler serves both instantiations: x86 (CometExplainer::Traits)
+// and RISC-V (RvExplainer::Traits). See serve/isa_servers.h for the
+// ready-made aliases.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/anchor_engine.h"
+#include "cost/query_stats.h"
+
+namespace comet::serve {
+
+struct ServeOptions {
+  std::size_t workers = 2;         ///< concurrent explanation sessions
+  std::size_t queue_capacity = 32; ///< admission-queue bound (backpressure)
+};
+
+template <typename Traits>
+class ExplanationServer {
+ public:
+  using Block = typename Traits::Block;
+  using Model = typename Traits::Model;
+  using Options = typename Traits::Options;
+  using Explanation = typename Traits::Explanation;
+  using Engine = core::AnchorEngine<Traits>;
+
+  /// One delivered result.
+  struct Served {
+    std::uint64_t id = 0;     ///< submission ticket
+    std::string model_key;    ///< which registered model served it
+    Explanation explanation;  ///< bit-identical to the sequential path
+  };
+
+  explicit ExplanationServer(ServeOptions options = {}) : options_(options) {
+    if (options_.workers == 0) options_.workers = 1;
+    if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+    workers_.reserve(options_.workers);
+    for (std::size_t i = 0; i < options_.workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  /// Graceful drain: every accepted job completes before the workers join.
+  ~ExplanationServer() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  ExplanationServer(const ExplanationServer&) = delete;
+  ExplanationServer& operator=(const ExplanationServer&) = delete;
+
+  /// Register a model under `key`. The instance must be const-thread-safe
+  /// (all models in this repository are) or internally synchronized (a
+  /// ShardedCostModel); it is shared by every job submitted under the key.
+  void register_model(const std::string& key,
+                      std::shared_ptr<const Model> model) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    models_[key] = std::move(model);
+  }
+
+  /// Blocking submit: waits for queue space (backpressure), returns the
+  /// job's ticket. Throws std::out_of_range for an unregistered key.
+  std::uint64_t submit(const std::string& model_key, Block block,
+                       Options options) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::shared_ptr<const Model> model = lookup(model_key);
+    cv_space_.wait(lock,
+                   [this] { return queue_.size() < options_.queue_capacity; });
+    return enqueue(model_key, std::move(model), std::move(block),
+                   std::move(options));
+  }
+
+  /// Non-blocking submit: false (and no ticket) when the queue is full.
+  bool try_submit(const std::string& model_key, Block block, Options options,
+                  std::uint64_t* id = nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<const Model> model = lookup(model_key);
+    if (queue_.size() >= options_.queue_capacity) return false;
+    const std::uint64_t ticket = enqueue(model_key, std::move(model),
+                                         std::move(block), std::move(options));
+    if (id != nullptr) *id = ticket;
+    return true;
+  }
+
+  /// Next completed explanation, in completion order. Blocks while
+  /// accepted jobs are outstanding; returns nullopt once every accepted
+  /// job has been delivered.
+  std::optional<Served> next() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock,
+                  [this] { return !completed_.empty() || outstanding_ == 0; });
+    if (completed_.empty()) return std::nullopt;
+    Served served = std::move(completed_.front());
+    completed_.pop_front();
+    return served;
+  }
+
+  /// Wait for every accepted job, then return all undelivered results in
+  /// completion order.
+  std::vector<Served> drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [this] { return outstanding_ == 0; });
+    std::vector<Served> out;
+    out.reserve(completed_.size());
+    for (auto& served : completed_) out.push_back(std::move(served));
+    completed_.clear();
+    return out;
+  }
+
+  /// Accepted jobs not yet completed (queued + running).
+  std::size_t outstanding() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return outstanding_;
+  }
+
+  /// Per-key merged query ledgers of everything served so far.
+  std::map<std::string, cost::QueryStats> stats_by_model() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  /// Drain report: one line per model key with its merged ledger.
+  std::string report() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    for (const auto& [key, stats] : stats_) {
+      out += "  " + key + ": " + stats.to_string() + "\n";
+    }
+    return out;
+  }
+
+ private:
+  struct Request {
+    std::uint64_t id = 0;
+    std::string model_key;
+    std::shared_ptr<const Model> model;
+    Block block;
+    Options options;
+  };
+
+  // Caller holds mutex_. Resolves the model at admission time so workers
+  // never touch the registry.
+  std::shared_ptr<const Model> lookup(const std::string& key) const {
+    const auto it = models_.find(key);
+    if (it == models_.end()) {
+      throw std::out_of_range("ExplanationServer: unregistered model key '" +
+                              key + "'");
+    }
+    return it->second;
+  }
+
+  // Caller holds mutex_ and has verified queue space.
+  std::uint64_t enqueue(const std::string& model_key,
+                        std::shared_ptr<const Model> model, Block block,
+                        Options options) {
+    const std::uint64_t ticket = next_id_++;
+    Request request;
+    request.id = ticket;
+    request.model_key = model_key;
+    request.model = std::move(model);
+    request.block = std::move(block);
+    request.options = std::move(options);
+    queue_.push_back(std::move(request));
+    ++outstanding_;
+    cv_work_.notify_one();
+    return ticket;
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Request request;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping and fully drained
+        request = std::move(queue_.front());
+        queue_.pop_front();
+        cv_space_.notify_one();
+      }
+      // The engine references the request's model and options for the
+      // duration of the run; both live in `request` on this stack frame.
+      Engine engine(*request.model, request.options);
+      Served served;
+      served.id = request.id;
+      served.model_key = std::move(request.model_key);
+      served.explanation = engine.explain(request.block);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_[served.model_key] += served.explanation.query_stats;
+        completed_.push_back(std::move(served));
+        --outstanding_;
+      }
+      cv_done_.notify_all();
+    }
+  }
+
+  ServeOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;   // queue gained work / stopping
+  std::condition_variable cv_space_;  // queue gained space
+  std::condition_variable cv_done_;   // a job completed
+  std::map<std::string, std::shared_ptr<const Model>> models_;
+  std::deque<Request> queue_;
+  std::deque<Served> completed_;
+  std::map<std::string, cost::QueryStats> stats_;
+  std::size_t outstanding_ = 0;
+  std::uint64_t next_id_ = 1;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace comet::serve

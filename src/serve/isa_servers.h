@@ -1,0 +1,30 @@
+// Ready-made ExplanationServer instantiations for both ISAs.
+//
+// The server template is ISA-generic for the same reason the engine is
+// (paper Section 7's portability claim): nothing in scheduling, flow
+// control, or result delivery mentions the ISA. These aliases are the
+// shared served path of CometExplainer and RvExplainer — register models,
+// submit (block, model-key, options) jobs, collect completion-ordered
+// explanations.
+//
+//   serve::X86ExplanationServer server({.workers = 4});
+//   server.register_model("crude-hsw", crude);       // plain shared model
+//   server.register_model("oracle-hsw", sharded);    // or a ShardedCostModel
+//   server.submit("crude-hsw", block, options);
+//   while (auto r = server.next()) { ... }
+#pragma once
+
+#include "core/comet.h"
+#include "riscv/explain.h"
+#include "serve/explanation_server.h"
+
+namespace comet::serve {
+
+/// Serves x86 jobs against any cost::CostModel (including ShardedCostModel
+/// pools); one model key per registered (model kind, µarch) instance.
+using X86ExplanationServer = ExplanationServer<core::CometExplainer::Traits>;
+
+/// Serves RISC-V jobs against RvCostModel instances.
+using RvExplanationServer = ExplanationServer<riscv::RvExplainer::Traits>;
+
+}  // namespace comet::serve

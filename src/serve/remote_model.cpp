@@ -1,0 +1,27 @@
+#include "serve/remote_model.h"
+
+#include <thread>
+
+namespace comet::serve {
+
+RemoteStandInModel::RemoteStandInModel(
+    std::shared_ptr<const cost::CostModel> inner,
+    std::chrono::microseconds round_trip)
+    : inner_(std::move(inner)), round_trip_(round_trip) {}
+
+double RemoteStandInModel::predict(const x86::BasicBlock& block) const {
+  std::this_thread::sleep_for(round_trip_);
+  return inner_->predict(block);
+}
+
+void RemoteStandInModel::predict_batch(std::span<const x86::BasicBlock> blocks,
+                                       std::span<double> out) const {
+  std::this_thread::sleep_for(round_trip_);
+  inner_->predict_batch(blocks, out);
+}
+
+std::string RemoteStandInModel::name() const {
+  return "remote(" + inner_->name() + ")";
+}
+
+}  // namespace comet::serve

@@ -1,0 +1,23 @@
+#include "serve/sharded_cost_model.h"
+
+namespace comet::serve {
+
+ShardedCostModel::ShardedCostModel(const Factory& factory, std::size_t shards,
+                                   bool memoize)
+    : pool_(factory, shards, memoize) {}
+
+double ShardedCostModel::predict(const x86::BasicBlock& block) const {
+  return pool_.predict(block);
+}
+
+void ShardedCostModel::predict_batch(std::span<const x86::BasicBlock> blocks,
+                                     std::span<double> out) const {
+  pool_.predict_batch(blocks, out);
+}
+
+std::string ShardedCostModel::name() const {
+  return "sharded-" + std::to_string(pool_.shard_count()) + "(" +
+         pool_.shard_model(0).name() + ")";
+}
+
+}  // namespace comet::serve

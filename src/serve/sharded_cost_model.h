@@ -1,0 +1,52 @@
+// ShardedCostModel: the x86 CostModel face of a serve::ShardedBrokerPool.
+//
+// It derives cost::CostModel, so anything that explains, evaluates, or
+// benches an x86 model — CometExplainer, the AnchorEngine, the
+// ExplanationServer — can sit on top of a sharded pool without knowing it:
+// predict/predict_batch fan out across N shard threads, each owning its
+// own model instance and memo cache. Because shards memoize across calls
+// (and across concurrently served requests), repeated perturbations from
+// different explanations of the same block are deduplicated pool-wide.
+//
+// This is the "pools → shards → models" slice of the serving stack; the
+// request-level "scheduler" slice above it is serve::ExplanationServer.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "serve/sharded_pool.h"
+
+namespace comet::serve {
+
+class ShardedCostModel final : public cost::CostModel {
+ public:
+  using Factory =
+      std::function<std::shared_ptr<const cost::CostModel>(std::size_t)>;
+
+  /// `factory` builds one independent model instance per shard.
+  ShardedCostModel(const Factory& factory, std::size_t shards,
+                   bool memoize = true);
+
+  double predict(const x86::BasicBlock& block) const override;
+  void predict_batch(std::span<const x86::BasicBlock> blocks,
+                     std::span<double> out) const override;
+  /// "sharded-N(<inner model name>)".
+  std::string name() const override;
+
+  /// Merged and per-shard query ledgers (load accounting).
+  cost::QueryStats stats() const { return pool_.stats(); }
+  std::vector<cost::QueryStats> shard_stats() const {
+    return pool_.shard_stats();
+  }
+  std::size_t shard_count() const { return pool_.shard_count(); }
+
+ private:
+  ShardedBrokerPool<x86::BasicBlock, cost::CostModel> pool_;
+};
+
+}  // namespace comet::serve

@@ -1,0 +1,175 @@
+// ShardedBrokerPool: fan predict_batch traffic out across N worker threads,
+// each owning its own model instance and its own memoizing QueryBroker.
+//
+// Blocks are hash-sharded by block text (fnv1a64 % shards), so a given
+// block always lands on the same shard: its memo entry lives in exactly one
+// cache, repeated queries from *different* requests hit that same cache,
+// and no result is ever computed twice across the pool. A pool predict_batch
+// call partitions the batch, dispatches each sub-batch to its shard's
+// queue, and waits for all shards to scatter their results back into the
+// caller's output span (disjoint indices, so no synchronization is needed
+// on the span itself).
+//
+// Thread-safety: every shard's model + broker are touched only by that
+// shard's worker thread (queries, stats snapshots, and cache all serialize
+// through the shard queue), so the pool's predict/predict_batch/stats are
+// safe to call concurrently from any number of threads — the pool is a
+// const-thread-safe "model" in the QueryBroker sense, which is exactly how
+// serve::ShardedCostModel presents it to the explanation engine.
+//
+// Per-shard QueryStats are exposed raw (load-balance accounting: how even
+// is the hash spread?) and merged via QueryStats::operator+=.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cost/query_broker.h"
+#include "serve/thread_pool.h"
+#include "util/rng.h"
+
+namespace comet::serve {
+
+template <typename Block, typename Model>
+class ShardedBrokerPool {
+ public:
+  /// Builds the model instance owned by one shard. Called once per shard
+  /// at pool construction; instances must be independent (or safely
+  /// shareable) since each is driven from a different thread.
+  using Factory =
+      std::function<std::shared_ptr<const Model>(std::size_t shard)>;
+
+  ShardedBrokerPool(const Factory& factory, std::size_t shards,
+                    bool memoize = true) {
+    if (shards == 0) shards = 1;
+    shards_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>(factory(s), memoize));
+    }
+  }
+
+  // Destruction is a graceful drain: each shard's ThreadPool finishes its
+  // queued sub-batches before joining (and is destroyed before the broker
+  // and model its tasks reference).
+  ShardedBrokerPool(const ShardedBrokerPool&) = delete;
+  ShardedBrokerPool& operator=(const ShardedBrokerPool&) = delete;
+
+  /// Predict every block of `blocks` into the parallel `out` span,
+  /// fanning sub-batches out across the shards and waiting for all of
+  /// them. Element-wise identical to any single instance the factory
+  /// builds (deterministic models).
+  void predict_batch(std::span<const Block> blocks,
+                     std::span<double> out) const {
+    if (blocks.empty()) return;
+    std::vector<std::vector<std::size_t>> indices_of(shards_.size());
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      indices_of[shard_of(blocks[i])].push_back(i);
+    }
+    Join join;
+    for (const auto& idx : indices_of) join.pending += !idx.empty();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (indices_of[s].empty()) continue;
+      std::vector<Block> sub;
+      sub.reserve(indices_of[s].size());
+      for (const std::size_t i : indices_of[s]) sub.push_back(blocks[i]);
+      shards_[s]->post([shard = shards_[s].get(), sub = std::move(sub),
+                        idx = std::move(indices_of[s]), out,
+                        &join]() mutable {
+        std::vector<double> sub_out(sub.size());
+        shard->broker.predict_batch(std::span<const Block>(sub),
+                                    std::span<double>(sub_out));
+        for (std::size_t j = 0; j < idx.size(); ++j) out[idx[j]] = sub_out[j];
+        join.done_one();
+      });
+    }
+    join.wait();
+  }
+
+  /// Single-block convenience (routes through the owning shard).
+  double predict(const Block& block) const {
+    double out = 0.0;
+    predict_batch(std::span<const Block>(&block, 1),
+                  std::span<double>(&out, 1));
+    return out;
+  }
+
+  /// Which shard owns `block` (stable hash of the full block text — the
+  /// same string the shard broker memoizes on).
+  std::size_t shard_of(const Block& block) const {
+    if (shards_.size() == 1) return 0;
+    const std::string key = block.to_string();
+    return util::fnv1a64(key.data(), key.size()) % shards_.size();
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Per-shard ledgers, snapshotted on each shard's own thread (so the
+  /// snapshot serializes with in-flight work instead of racing it).
+  std::vector<cost::QueryStats> shard_stats() const {
+    std::vector<cost::QueryStats> out(shards_.size());
+    Join join;
+    join.pending = shards_.size();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->post([shard = shards_[s].get(), &out, s, &join] {
+        out[s] = shard->broker.stats();
+        join.done_one();
+      });
+    }
+    join.wait();
+    return out;
+  }
+
+  /// Merged ledger across all shards.
+  cost::QueryStats stats() const {
+    cost::QueryStats merged;
+    for (const auto& s : shard_stats()) merged += s;
+    return merged;
+  }
+
+  /// The model instance owned by shard `s` (for name/introspection only;
+  /// do not call predict on it from outside the shard thread unless the
+  /// model is const-thread-safe).
+  const Model& shard_model(std::size_t s) const { return *shards_[s]->model; }
+
+ private:
+  /// Countdown latch (mutex/cv formulation; <latch> kept out of the
+  /// dependency surface).
+  struct Join {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t pending = 0;
+
+    void done_one() {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (--pending == 0) cv.notify_all();
+    }
+    void wait() {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [this] { return pending == 0; });
+    }
+  };
+
+  struct Shard {
+    std::shared_ptr<const Model> model;  // declared before broker: broker
+    cost::QueryBroker<Block, Model> broker;  // holds a pointer into it
+    // One single-thread FIFO pool per shard: serializes all broker/model
+    // access onto the shard's thread, and drains before broker/model die.
+    ThreadPool pool{1};
+
+    Shard(std::shared_ptr<const Model> m, bool memoize)
+        : model(std::move(m)), broker(model.get(), memoize) {}
+
+    void post(std::function<void()> task) { pool.post(std::move(task)); }
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace comet::serve

@@ -1,0 +1,50 @@
+// A fixed-size FIFO thread pool — the execution substrate of the serving
+// layer (serve::AsyncBroker evaluation workers, test harnesses).
+//
+// Deliberately minimal: tasks are opaque std::function<void()>s executed in
+// submission order by whichever worker frees up first. With one worker the
+// pool is a strict FIFO executor, which is what gives AsyncBroker its
+// deterministic, bit-identical-to-sequential query accounting; more workers
+// trade that determinism for concurrency (callers opt in explicitly).
+//
+// Shutdown is graceful: the destructor lets workers drain every queued task
+// before joining, so no submitted work is ever dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace comet::serve {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; workers pick tasks up in FIFO order.
+  void post(std::function<void()> task);
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace comet::serve

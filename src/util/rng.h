@@ -5,6 +5,13 @@
 // that experiments are reproducible run-to-run and seed-to-seed. The engine
 // is xoshiro256** seeded via splitmix64, which is fast, has a 256-bit state,
 // and passes BigCrush — more than adequate for Monte-Carlo estimation.
+//
+// Thread-safety: an Rng instance is plain mutable state — never share one
+// across threads. The rule the serving layer relies on (and tests assert):
+// every concurrently served explanation request owns its own Rng, seeded
+// deterministically from the request's options + block, so concurrent
+// execution is bit-identical to sequential execution. Use fork() to derive
+// independent child generators for per-item parallelism.
 #pragma once
 
 #include <cstdint>
