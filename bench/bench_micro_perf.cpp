@@ -134,11 +134,31 @@ void BM_IthemalPredictLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_IthemalPredictLoop)->Unit(benchmark::kMicrosecond);
 
-// ... versus the vectorized predict_batch override (allocation-free
-// inference path).
+// ... versus the per-block inference path (predict_batch driven one block
+// at a time — the shape of the pre-cross-block batch loop: tokenization
+// plus a one-lane LSTM sweep per block, matrix-vector gate products) ...
+void BM_IthemalPredictPerBlock(benchmark::State& state) {
+  const cost::IthemalModel model(cost::MicroArch::Haswell);
+  const auto blocks = micro_corpus(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> out(blocks.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      model.predict_batch(std::span<const x86::BasicBlock>(&blocks[i], 1),
+                          std::span<double>(&out[i], 1));
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_IthemalPredictPerBlock)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+// ... versus the cross-block batched path: the token LSTM runs over all
+// instructions of all blocks in one lane-packed pass (matrix-matrix gate
+// products via the blocked GEMM kernel), then the block LSTM over all
+// blocks.
 void BM_IthemalPredictBatch(benchmark::State& state) {
   const cost::IthemalModel model(cost::MicroArch::Haswell);
-  const auto blocks = micro_corpus(64);
+  const auto blocks = micro_corpus(static_cast<std::size_t>(state.range(0)));
   std::vector<double> out(blocks.size());
   for (auto _ : state) {
     model.predict_batch(std::span<const x86::BasicBlock>(blocks),
@@ -146,7 +166,25 @@ void BM_IthemalPredictBatch(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
 }
-BENCHMARK(BM_IthemalPredictBatch)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IthemalPredictBatch)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+// The analytical models' batch path chunked over the shared thread pool
+// (CostModel::set_batch_threads) — the serving layer's per-shard batches
+// get intra-batch parallelism on top of cross-shard concurrency.
+void BM_OracleBatchThreaded(benchmark::State& state) {
+  sim::HardwareOracle model(cost::MicroArch::Haswell);
+  model.set_batch_threads(static_cast<std::size_t>(state.range(0)));
+  const auto blocks = micro_corpus(256);
+  std::vector<double> out(blocks.size());
+  for (auto _ : state) {
+    model.predict_batch(std::span<const x86::BasicBlock>(blocks),
+                        std::span<double>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_OracleBatchThreaded)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
 
 // The broker's memoization on top of batching, on a stream with repeats
 // (the shape of anchor-search traffic).

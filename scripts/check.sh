@@ -6,6 +6,8 @@
 #   scripts/check.sh --clean    # wipe ./build first
 #   scripts/check.sh --tsan     # ThreadSanitizer pass over the serving
 #                               # tests (separate ./build-tsan tree)
+#   scripts/check.sh --asan     # AddressSanitizer pass over the full test
+#                               # suite (separate ./build-asan tree)
 #   COMET_CHECK_WERROR=1 scripts/check.sh   # promote warnings to errors
 set -euo pipefail
 
@@ -13,18 +15,22 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${COMET_BUILD_DIR:-build}
 TSAN_DIR=${COMET_TSAN_BUILD_DIR:-build-tsan}
+ASAN_DIR=${COMET_ASAN_BUILD_DIR:-build-asan}
 TSAN=0
+ASAN=0
 CLEAN=0
 for arg in "$@"; do
   case "$arg" in
     --clean) CLEAN=1 ;;
     --tsan)  TSAN=1 ;;
+    --asan)  ASAN=1 ;;
     *) echo "check.sh: unknown flag '$arg'" >&2; exit 2 ;;
   esac
 done
 if [[ "$CLEAN" == "1" ]]; then
   rm -rf "$BUILD_DIR"
   [[ "$TSAN" == "1" ]] && rm -rf "$TSAN_DIR"
+  [[ "$ASAN" == "1" ]] && rm -rf "$ASAN_DIR"
 fi
 
 CMAKE_ARGS=()
@@ -44,9 +50,27 @@ if [[ "$TSAN" == "1" ]]; then
     echo "check.sh: GTest not found - serving test targets unavailable" >&2
     exit 1
   fi
-  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve test_query_broker
-  ctest --test-dir "$TSAN_DIR" --output-on-failure -R 'test_serve|test_query_broker'
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve test_query_broker \
+    test_batch_parity
+  ctest --test-dir "$TSAN_DIR" --output-on-failure \
+    -R 'test_serve|test_query_broker|test_batch_parity'
   echo "check.sh: tsan serving pass green"
+  exit 0
+fi
+
+if [[ "$ASAN" == "1" ]]; then
+  # Memory-error pass over the whole suite (the lane-packed batch paths do
+  # manual panel indexing; ASan keeps them honest). Own build tree, same
+  # reasoning as above.
+  cmake -B "$ASAN_DIR" -S . -DCOMET_ASAN=ON "${CMAKE_ARGS[@]}"
+  ASAN_TARGETS=$(cmake --build "$ASAN_DIR" --target help 2>/dev/null || true)
+  if ! grep -qw test_batch_parity <<<"$ASAN_TARGETS"; then
+    echo "check.sh: GTest not found - test targets unavailable" >&2
+    exit 1
+  fi
+  cmake --build "$ASAN_DIR" -j "$JOBS"
+  ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS"
+  echo "check.sh: asan pass green"
   exit 0
 fi
 

@@ -177,8 +177,13 @@ double AnchorEngine<Traits>::estimate_precision(const Block& block,
   for (const double p : preds) {
     hits += std::abs(p - base) < options_.epsilon;
   }
-  return samples ? static_cast<double>(hits) / static_cast<double>(samples)
-                 : 0.0;
+  // Precision is estimated over the non-empty perturbations only — the same
+  // denominator the search's arm scoring uses (score() counts a pull per
+  // evaluated sample). Dividing by the requested sample count instead would
+  // bias Prec(F) down on blocks whose perturber emits empties.
+  return batch.empty()
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(batch.size());
 }
 
 template <typename Traits>
@@ -433,10 +438,19 @@ typename AnchorEngine<Traits>::Explanation AnchorEngine<Traits>::explain(
                  threshold) {
         pull(arm);
       }
+      // Acceptance is a KL-lower-bound gate: the anchor's estimated
+      // precision must clear the threshold with high confidence, not
+      // merely on its raw mean (kl_lower_bound(mean, ...) <= mean always,
+      // so "lb_ok || mean >= threshold" would make the verification dead
+      // code). Exhausting the firm-up budget without separation rejects
+      // the anchor at this level; a zero final_precision_samples budget
+      // disables verification entirely and falls back to the raw-mean
+      // rule (RvExplainOptions pins 0: the analytical RV model is exact,
+      // so extra pulls add queries without information).
       const bool lb_ok =
           util::kl_lower_bound(arm.mean(), arm.pulls, verify_beta) >=
           threshold;
-      if (lb_ok || arm.mean() >= threshold) {
+      if (lb_ok || options_.final_precision_samples == 0) {
         Explanation e;
         e.features = arm.features;
         e.precision = arm.mean();

@@ -1,15 +1,86 @@
 #include "cost/cost_model.h"
 
+#include <algorithm>
 #include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+// Deliberate upward dependency (mirrors core/anchor_engine.h's use of
+// serve/async_broker.h): the batch-parallel path reuses the serving layer's
+// ThreadPool instead of duplicating a second pool implementation here.
+// serve/thread_pool.h includes nothing from cost/, so the include graph
+// stays acyclic.
+#include "serve/thread_pool.h"
 
 namespace comet::cost {
+
+namespace {
+
+// One process-wide pool shared by every model with batch_threads >= 2.
+// Lazily constructed on first parallel batch (sequential users never spawn
+// a thread); sized to the hardware so several models can interleave chunks
+// without oversubscribing. Function-local static => thread-safe init and
+// graceful drain at exit.
+serve::ThreadPool& shared_batch_pool() {
+  static serve::ThreadPool pool(
+      std::max(2u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace
 
 void CostModel::predict_batch(std::span<const x86::BasicBlock> blocks,
                               std::span<double> out) const {
   assert(blocks.size() == out.size());
-  for (std::size_t i = 0; i < blocks.size(); ++i) {
-    out[i] = predict(blocks[i]);
+  for_batch_chunks(blocks.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = predict(blocks[i]);
+    }
+  });
+}
+
+void CostModel::for_batch_chunks(
+    std::size_t total,
+    const std::function<void(std::size_t, std::size_t)>& fn) const {
+  const std::size_t tasks = std::min(batch_threads_, total);
+  if (tasks <= 1) {
+    fn(0, total);
+    return;
   }
+  serve::ThreadPool& pool = shared_batch_pool();
+  const std::size_t chunk = (total + tasks - 1) / tasks;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  std::size_t posted = 0;
+  std::exception_ptr error;
+  for (std::size_t begin = 0; begin < total; begin += chunk) {
+    const std::size_t end = std::min(total, begin + chunk);
+    ++posted;
+    pool.post([&, begin, end] {
+      // A throwing chunk must not change the error contract vs the
+      // sequential path (where the exception reaches the caller) — an
+      // escape into the pool's worker loop would std::terminate. Capture
+      // the first exception and rethrow it on the calling thread.
+      std::exception_ptr chunk_error;
+      try {
+        fn(begin, end);
+      } catch (...) {
+        chunk_error = std::current_exception();
+      }
+      // Notify while holding the lock: cv and mutex are stack locals of the
+      // caller, and the waiter may destroy them the moment it observes
+      // done == posted — an unlocked notify could touch a dead cv.
+      std::lock_guard<std::mutex> lock(mutex);
+      if (chunk_error != nullptr && error == nullptr) error = chunk_error;
+      ++done;
+      cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return done == posted; });
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 }  // namespace comet::cost

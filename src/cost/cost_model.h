@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 
@@ -45,6 +46,34 @@ class CostModel {
 
   /// Human-readable model name ("ithemal", "uica", "crude", ...).
   virtual std::string name() const = 0;
+
+  /// Intra-batch parallelism knob: when n >= 2, predict_batch
+  /// implementations split each batch into up to n contiguous chunks and
+  /// evaluate them concurrently on the process-wide shared
+  /// serve::ThreadPool. The default (1) keeps every batch fully sequential
+  /// on the calling thread — no pool is created, and results, goldens, and
+  /// query accounting are untouched. Per-block predictions are independent
+  /// and deterministic, so a threaded batch is element-wise identical to a
+  /// sequential one; only wall-clock changes.
+  ///
+  /// Not thread-safe against concurrent predict_batch calls on the same
+  /// instance: set it during setup, before the model starts serving.
+  void set_batch_threads(std::size_t n) { batch_threads_ = n == 0 ? 1 : n; }
+  std::size_t batch_threads() const { return batch_threads_; }
+
+ protected:
+  /// Helper for predict_batch implementations: invoke fn(begin, end) over
+  /// contiguous chunks covering [0, total). With batch_threads() <= 1 (or a
+  /// batch too small to split) this is one inline fn(0, total) call;
+  /// otherwise the chunks run on the shared serve::ThreadPool and the call
+  /// blocks until all of them finish. fn must write only its own out-span
+  /// range and touch the model through const methods only.
+  void for_batch_chunks(
+      std::size_t total,
+      const std::function<void(std::size_t, std::size_t)>& fn) const;
+
+ private:
+  std::size_t batch_threads_ = 1;
 };
 
 }  // namespace comet::cost

@@ -55,13 +55,6 @@ double CrudeModel::predict(const x86::BasicBlock& block) const {
   return best;
 }
 
-void CrudeModel::predict_batch(std::span<const x86::BasicBlock> blocks,
-                               std::span<double> out) const {
-  for (std::size_t i = 0; i < blocks.size(); ++i) {
-    out[i] = predict(blocks[i]);
-  }
-}
-
 graph::FeatureSet CrudeModel::ground_truth(
     const x86::BasicBlock& block) const {
   const double c = predict(block);

@@ -29,10 +29,9 @@ class CrudeModel final : public CostModel {
                       graph::DepGraphOptions graph_options = {});
 
   double predict(const x86::BasicBlock& block) const override;
-  /// Batched prediction: one analytical pass per block without the
-  /// per-element virtual dispatch of the sequential default.
-  void predict_batch(std::span<const x86::BasicBlock> blocks,
-                     std::span<double> out) const override;
+  // predict_batch: inherits the base element-wise sweep, which already
+  // chunks across the shared pool under set_batch_threads() — the
+  // analytical pass is pure per block (table lookups + a local dep graph).
   std::string name() const override;
 
   MicroArch uarch() const { return uarch_; }

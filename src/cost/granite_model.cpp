@@ -163,9 +163,14 @@ double GraniteModel::predict(const x86::BasicBlock& block) const {
 
 void GraniteModel::predict_batch(std::span<const x86::BasicBlock> blocks,
                                  std::span<double> out) const {
-  for (std::size_t i = 0; i < blocks.size(); ++i) {
-    out[i] = blocks[i].empty() ? 0.0 : forward(blocks[i]).prediction;
-  }
+  // forward() touches only const weights and locals, so chunks of the
+  // batch evaluate independently (and identically to the sequential sweep)
+  // on the shared pool when batch threads are enabled.
+  for_batch_chunks(blocks.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = blocks[i].empty() ? 0.0 : forward(blocks[i]).prediction;
+    }
+  });
 }
 
 std::string GraniteModel::name() const {

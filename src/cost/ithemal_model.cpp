@@ -10,7 +10,12 @@
 namespace comet::cost {
 
 namespace {
-constexpr std::uint32_t kMagic = 0xC03E7001;
+// Checkpoint magic doubles as a format version. v1 (0xC03E7001) folded
+// unknown register widths onto the 64-bit token, silently aliasing distinct
+// operands; v2 gives unknown widths their own code, which grows the
+// vocabulary (and so the embedding), so v1 checkpoints are rejected on load
+// and the model retrains instead of mapping tokens onto the wrong rows.
+constexpr std::uint32_t kMagic = 0xC03E7102;
 
 int width_code(std::uint16_t bits) {
   switch (bits) {
@@ -20,10 +25,10 @@ int width_code(std::uint16_t bits) {
     case 64: return 3;
     case 128: return 4;
     case 256: return 5;
-    default: return 3;
+    default: return 6;  // unknown widths get their own token
   }
 }
-constexpr int kWidthCodes = 6;
+constexpr int kWidthCodes = 7;
 }  // namespace
 
 BlockTokenizer::BlockTokenizer() {
@@ -139,35 +144,70 @@ double IthemalModel::predict(const x86::BasicBlock& block) const {
 
 void IthemalModel::predict_batch(std::span<const x86::BasicBlock> blocks,
                                  std::span<double> out) const {
-  // Scratch shared across the batch: the training-path forward() allocates
-  // a full BPTT cache per step, which inference never reads. This path
-  // keeps only the running (h, c) state per LSTM plus one pre-activation
-  // buffer, so the per-query cost is the matrix math alone.
-  std::vector<float> h_tok, c_tok, h_blk, c_blk, pre;
-  std::vector<std::vector<float>> xs, inst_embeds;
-  for (std::size_t b = 0; b < blocks.size(); ++b) {
+  for_batch_chunks(blocks.size(), [&](std::size_t begin, std::size_t end) {
+    predict_range(blocks, out, begin, end);
+  });
+}
+
+void IthemalModel::predict_range(std::span<const x86::BasicBlock> blocks,
+                                 std::span<double> out, std::size_t begin,
+                                 std::size_t end) const {
+  const std::size_t D = config_.embed_dim;
+  const std::size_t H = config_.hidden_dim;
+
+  // Stage 1 — tokenize/embed the whole range: one token-LSTM lane per
+  // instruction of every non-empty block. Lane inputs are pointers straight
+  // into the embedding table, so "embedding lookup" costs no copies.
+  struct BlockLanes {
+    std::size_t out_index;   // where the prediction goes
+    std::size_t first_lane;  // first token lane of this block
+    std::size_t num_insts;
+  };
+  std::vector<BlockLanes> live;
+  std::vector<std::vector<const float*>> token_lanes;
+  for (std::size_t b = begin; b < end; ++b) {
     const x86::BasicBlock& block = blocks[b];
     if (block.empty()) {
       out[b] = 0.0;
       continue;
     }
     const auto tokens = tokenizer_.tokenize(block);
-    inst_embeds.resize(tokens.size());
-    for (std::size_t i = 0; i < tokens.size(); ++i) {
-      xs.resize(tokens[i].size());
-      for (std::size_t t = 0; t < tokens[i].size(); ++t) {
-        const float* row = embedding_.data() + tokens[i][t] * config_.embed_dim;
-        xs[t].assign(row, row + config_.embed_dim);
-      }
-      token_lstm_.run_final(xs, h_tok, c_tok, pre);
-      inst_embeds[i] = h_tok;
+    live.push_back({b, token_lanes.size(), tokens.size()});
+    for (const auto& seq : tokens) {
+      std::vector<const float*> lane;
+      lane.reserve(seq.size());
+      for (const int t : seq) lane.push_back(embedding_.data() + t * D);
+      token_lanes.push_back(std::move(lane));
     }
-    block_lstm_.run_final(inst_embeds, h_blk, c_blk, pre);
+  }
+  if (live.empty()) return;
+
+  // Stage 2 — token LSTM over all instructions of all blocks in one
+  // lane-packed pass; row l of inst_h is instruction-lane l's embedding.
+  nn::LstmBatchScratch scratch;
+  std::vector<float> inst_h;
+  token_lstm_.run_final_batch(token_lanes, inst_h, scratch);
+
+  // Stage 3 — block LSTM over all blocks: each block's lane walks its own
+  // instruction-embedding rows.
+  std::vector<std::vector<const float*>> block_lanes(live.size());
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    block_lanes[k].reserve(live[k].num_insts);
+    for (std::size_t j = 0; j < live[k].num_insts; ++j) {
+      block_lanes[k].push_back(inst_h.data() + (live[k].first_lane + j) * H);
+    }
+  }
+  std::vector<float> blk_h;
+  block_lstm_.run_final_batch(block_lanes, blk_h, scratch);
+
+  // Stage 4 — regression head (same double-precision chain as forward()).
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    const float* h = blk_h.data() + k * H;
     double y = head_b_.data()[0];
-    for (std::size_t i = 0; i < config_.hidden_dim; ++i) {
-      y += head_w_.data()[i] * h_blk[i];
+    for (std::size_t i = 0; i < H; ++i) {
+      y += head_w_.data()[i] * h[i];
     }
-    out[b] = std::exp(std::clamp(y, -3.0, 5.0));
+    out[live[k].out_index] = std::exp(std::clamp(y, -3.0, 5.0));
   }
 }
 
@@ -247,38 +287,52 @@ void IthemalModel::save(const std::filesystem::path& path) const {
     throw std::runtime_error("IthemalModel::save: cannot open " +
                              path.string());
   }
+  bool ok = true;
   const auto write_mat = [&](const nn::Mat& m) {
     const std::uint64_t dims[2] = {m.rows(), m.cols()};
-    std::fwrite(dims, sizeof(dims), 1, fp);
-    std::fwrite(m.data(), sizeof(float), m.size(), fp);
+    ok = ok && std::fwrite(dims, sizeof(dims), 1, fp) == 1;
+    ok = ok && std::fwrite(m.data(), sizeof(float), m.size(), fp) == m.size();
   };
-  std::fwrite(&kMagic, sizeof(kMagic), 1, fp);
+  ok = std::fwrite(&kMagic, sizeof(kMagic), 1, fp) == 1;
   write_mat(embedding_);
-  for (auto* p : const_cast<IthemalModel*>(this)->token_lstm_.params()) {
-    write_mat(*p);
-  }
-  for (auto* p : const_cast<IthemalModel*>(this)->block_lstm_.params()) {
-    write_mat(*p);
-  }
+  for (const auto* p : token_lstm_.params()) write_mat(*p);
+  for (const auto* p : block_lstm_.params()) write_mat(*p);
   write_mat(head_w_);
   write_mat(head_b_);
-  std::fclose(fp);
+  ok = std::fclose(fp) == 0 && ok;
+  if (!ok) {
+    // A short write would masquerade as a valid cache until the next load;
+    // remove the partial file and fail loudly instead.
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    throw std::runtime_error("IthemalModel::save: short write to " +
+                             path.string());
+  }
 }
 
 bool IthemalModel::load(const std::filesystem::path& path) {
   std::FILE* fp = std::fopen(path.string().c_str(), "rb");
   if (fp == nullptr) return false;
+  // Stage every matrix into temporaries and commit only after the whole
+  // checkpoint has validated: a truncated or corrupt file must not leave
+  // the live model half-overwritten (train_or_load would then silently
+  // retrain from garbage instead of the deterministic init).
   bool ok = true;
-  const auto read_mat = [&](nn::Mat& m) {
+  std::vector<nn::Mat> staged;
+  const auto read_mat = [&](const nn::Mat& m) {
+    if (!ok) return;
     std::uint64_t dims[2];
     if (std::fread(dims, sizeof(dims), 1, fp) != 1 || dims[0] != m.rows() ||
         dims[1] != m.cols()) {
       ok = false;
       return;
     }
-    if (std::fread(m.data(), sizeof(float), m.size(), fp) != m.size()) {
+    nn::Mat tmp(m.rows(), m.cols());
+    if (std::fread(tmp.data(), sizeof(float), tmp.size(), fp) != tmp.size()) {
       ok = false;
+      return;
     }
+    staged.push_back(std::move(tmp));
   };
   std::uint32_t magic = 0;
   if (std::fread(&magic, sizeof(magic), 1, fp) != 1 || magic != kMagic) {
@@ -286,16 +340,23 @@ bool IthemalModel::load(const std::filesystem::path& path) {
     return false;
   }
   read_mat(embedding_);
-  for (auto* p : token_lstm_.params()) {
-    if (ok) read_mat(*p);
-  }
-  for (auto* p : block_lstm_.params()) {
-    if (ok) read_mat(*p);
-  }
-  if (ok) read_mat(head_w_);
-  if (ok) read_mat(head_b_);
+  for (const auto* p : token_lstm_.params()) read_mat(*p);
+  for (const auto* p : block_lstm_.params()) read_mat(*p);
+  read_mat(head_w_);
+  read_mat(head_b_);
   std::fclose(fp);
-  return ok;
+  if (!ok) return false;
+
+  std::vector<nn::Mat*> targets{&embedding_};
+  for (auto* p : token_lstm_.params()) targets.push_back(p);
+  for (auto* p : block_lstm_.params()) targets.push_back(p);
+  targets.push_back(&head_w_);
+  targets.push_back(&head_b_);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    std::copy(staged[i].data(), staged[i].data() + staged[i].size(),
+              targets[i]->data());
+  }
+  return true;
 }
 
 double IthemalModel::train_or_load(

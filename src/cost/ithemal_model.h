@@ -57,10 +57,14 @@ class IthemalModel final : public CostModel {
   explicit IthemalModel(MicroArch uarch, IthemalConfig config = {});
 
   double predict(const x86::BasicBlock& block) const override;
-  /// Vectorized batch inference: runs the hierarchical LSTM through an
-  /// allocation-free forward path (nn::LstmCell::run_final) with scratch
-  /// buffers shared across the whole batch. Element-wise equal to
-  /// predict().
+  /// Cross-block batched inference: tokenizes and embeds the whole batch,
+  /// runs the token LSTM over all instructions of all blocks in one
+  /// lane-packed pass and the block LSTM over all blocks in a second
+  /// (nn::LstmCell::run_final_batch — each timestep's gate pre-activations
+  /// are matrix-matrix products over every live lane instead of per-block
+  /// matrix-vector products). Bit-for-bit equal to element-wise predict();
+  /// honors set_batch_threads() by evaluating contiguous sub-batches
+  /// concurrently, each through its own lane-packed pass.
   void predict_batch(std::span<const x86::BasicBlock> blocks,
                      std::span<double> out) const override;
   std::string name() const override;
@@ -92,6 +96,12 @@ class IthemalModel final : public CostModel {
  private:
   struct Forward;
   Forward forward(const x86::BasicBlock& block) const;
+
+  /// One lane-packed batched forward over blocks[begin, end) — the unit of
+  /// work predict_batch hands to each batch-threads chunk.
+  void predict_range(std::span<const x86::BasicBlock> blocks,
+                     std::span<double> out, std::size_t begin,
+                     std::size_t end) const;
 
   MicroArch uarch_;
   IthemalConfig config_;

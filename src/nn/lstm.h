@@ -12,6 +12,18 @@
 
 namespace comet::nn {
 
+/// Reusable scratch buffers of LstmCell::run_final_batch. One instance per
+/// calling thread; buffers grow to the largest (batch x dim) seen and are
+/// then reused allocation-free across batches.
+struct LstmBatchScratch {
+  std::vector<float> x;     // D x B input panel for the current timestep
+  std::vector<float> h;     // H x B hidden-state panel (one column per lane)
+  std::vector<float> c;     // H x B cell-state panel
+  std::vector<float> pre;   // 4H x B gate pre-activations
+  std::vector<float> rec;   // 4H x B recurrent contribution (wh_ * h)
+  std::vector<std::size_t> order;  // lanes sorted by descending length
+};
+
 /// Cached activations of one LSTM step (needed for BPTT).
 struct LstmStepCache {
   std::vector<float> x;       // input
@@ -56,6 +68,25 @@ class LstmCell {
                  std::vector<float>& h, std::vector<float>& c,
                  std::vector<float>& pre) const;
 
+  /// Cross-lane batched inference: run B independent sequences from zero
+  /// state in one lane-packed pass. `seqs[b]` is lane b's input sequence as
+  /// pointers to `input_dim()`-sized vectors (rows of an embedding table, or
+  /// rows of a previous layer's output — no per-step copies of the inputs
+  /// are taken beyond the gather into the timestep panel). On return,
+  /// `h_out` is a B x hidden_dim() row-major matrix whose row b holds lane
+  /// b's final hidden state (zeros for an empty lane).
+  ///
+  /// The batch is padded to the longest sequence: lanes are sorted by
+  /// descending length so the live lanes of every timestep form a panel
+  /// prefix, and each timestep computes all lanes' gate pre-activations as
+  /// two matrix-matrix products (wx_ * X and wh_ * H over the live columns,
+  /// via nn::gemm_accum) instead of per-lane matrix-vector products. The
+  /// per-lane accumulation order matches run_final exactly, so results are
+  /// bit-identical to running each sequence through run_final / run.
+  void run_final_batch(const std::vector<std::vector<const float*>>& seqs,
+                       std::vector<float>& h_out,
+                       LstmBatchScratch& scratch) const;
+
   /// BPTT over a full sequence given the gradient of the final hidden state.
   /// Returns dL/dx for every step.
   std::vector<std::vector<float>> backward_sequence(
@@ -63,6 +94,7 @@ class LstmCell {
       const std::vector<float>& dh_final);
 
   std::vector<Mat*> params();
+  std::vector<const Mat*> params() const;
 
  private:
   std::size_t input_dim_ = 0;

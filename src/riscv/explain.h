@@ -32,8 +32,12 @@ struct RvExplainOptions : core::AnchorSearchOptions {
     coverage_samples = 800;
     // The analytical RV model is exact and deterministic, so the extra
     // firm-up pass before accepting an anchor adds queries without
-    // information; 0 keeps the historical RV acceptance rule (raw mean
-    // against the threshold).
+    // information. A zero budget disables the engine's KL-lower-bound
+    // acceptance gate entirely: anchors are accepted on their raw mean
+    // against the threshold (the historical RV rule). Any positive budget
+    // would instead require kl_lower_bound(mean, pulls, beta) >= threshold
+    // before an anchor is accepted — see the acceptance step in
+    // core/anchor_engine.h.
     final_precision_samples = 0;
   }
 };

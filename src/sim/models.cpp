@@ -6,12 +6,15 @@ namespace comet::sim {
 
 namespace {
 
-// Shared batch sweep for the three simulator-backed models: one simulator
-// configuration drives the whole batch without per-element virtual dispatch.
-void simulate_batch(std::span<const x86::BasicBlock> blocks,
+// Shared batch sweep for the three simulator-backed models: one chunk of
+// the batch driven by one simulator configuration without per-element
+// virtual dispatch. The simulator is a pure function of (block, options),
+// so the owning model chunks batches across the shared pool freely.
+void simulate_range(std::span<const x86::BasicBlock> blocks,
                     std::span<double> out, cost::MicroArch uarch,
-                    const SimOptions& options) {
-  for (std::size_t i = 0; i < blocks.size(); ++i) {
+                    const SimOptions& options, std::size_t begin,
+                    std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
     out[i] = simulate_throughput(blocks[i], uarch, options);
   }
 }
@@ -28,7 +31,9 @@ double HardwareOracle::predict(const x86::BasicBlock& block) const {
 
 void HardwareOracle::predict_batch(std::span<const x86::BasicBlock> blocks,
                                    std::span<double> out) const {
-  simulate_batch(blocks, out, uarch_, options_);
+  for_batch_chunks(blocks.size(), [&](std::size_t begin, std::size_t end) {
+    simulate_range(blocks, out, uarch_, options_, begin, end);
+  });
 }
 
 std::string HardwareOracle::name() const {
@@ -50,7 +55,9 @@ double UiCASimModel::predict(const x86::BasicBlock& block) const {
 
 void UiCASimModel::predict_batch(std::span<const x86::BasicBlock> blocks,
                                  std::span<double> out) const {
-  simulate_batch(blocks, out, uarch_, options_);
+  for_batch_chunks(blocks.size(), [&](std::size_t begin, std::size_t end) {
+    simulate_range(blocks, out, uarch_, options_, begin, end);
+  });
 }
 
 std::string UiCASimModel::name() const {
@@ -71,7 +78,9 @@ double McaLikeModel::predict(const x86::BasicBlock& block) const {
 
 void McaLikeModel::predict_batch(std::span<const x86::BasicBlock> blocks,
                                  std::span<double> out) const {
-  simulate_batch(blocks, out, uarch_, options_);
+  for_batch_chunks(blocks.size(), [&](std::size_t begin, std::size_t end) {
+    simulate_range(blocks, out, uarch_, options_, begin, end);
+  });
 }
 
 std::string McaLikeModel::name() const {

@@ -59,6 +59,104 @@ class BatchAuditModel final : public ck::CostModel {
   mutable std::size_t batch_calls = 0;
 };
 
+// --- a minimal, fully controllable instantiation of the generic engine ---
+// One feature, a text-keyed stub model, and a perturber whose empty-sample
+// rate and hit rate are dialed in directly. This is what lets the tests pin
+// down the engine's precision accounting and its KL-lower-bound acceptance
+// gate without depending on x86 perturbation statistics.
+
+struct StubBlock {
+  std::string text;
+  bool empty() const { return text.empty(); }
+  std::string to_string() const { return text; }
+};
+
+struct StubFeature {
+  int id = 0;
+  bool operator==(const StubFeature&) const = default;
+};
+
+struct StubFeatureSet {
+  std::vector<StubFeature> feats;
+  bool operator==(const StubFeatureSet&) const = default;
+  const std::vector<StubFeature>& items() const { return feats; }
+  bool contains(const StubFeature& f) const {
+    for (const auto& x : feats) {
+      if (x == f) return true;
+    }
+    return false;
+  }
+  StubFeatureSet with(const StubFeature& f) const {
+    StubFeatureSet out = *this;
+    if (!contains(f)) out.feats.push_back(f);
+    return out;
+  }
+};
+
+struct StubPerturbed {
+  StubBlock block;
+};
+
+// Every `empty_stride`-th sample comes back empty (a perturbation with no
+// surviving instructions); the rest are unique non-empty blocks.
+struct StubPerturber {
+  std::size_t empty_stride;
+  StubPerturbed sample(const StubFeatureSet&, comet::util::Rng& rng) const {
+    const std::uint64_t n = rng.next_u64();
+    if (empty_stride != 0 && n % empty_stride == 0) return {StubBlock{}};
+    return {StubBlock{"p" + std::to_string(n)}};
+  }
+  bool contains(const StubPerturbed& alpha, const StubFeatureSet&) const {
+    return !alpha.block.empty();
+  }
+};
+
+// Deterministic text-keyed stub: a block is a "hit" (prediction == base)
+// when its hash lands under hit_percent; misses land far outside epsilon.
+struct StubModel {
+  int hit_percent = 100;
+  double predict(const StubBlock& block) const {
+    if (block.text == "base") return 1.0;
+    const std::uint64_t h = comet::util::fnv1a64(block.text.c_str());
+    return (h % 100) < static_cast<std::uint64_t>(hit_percent) ? 1.0 : 50.0;
+  }
+  void predict_batch(std::span<const StubBlock> blocks,
+                     std::span<double> out) const {
+    for (std::size_t i = 0; i < blocks.size(); ++i) out[i] = predict(blocks[i]);
+  }
+  std::string name() const { return "stub"; }
+};
+
+struct StubOptions : cc::AnchorSearchOptions {
+  std::size_t empty_stride = 0;
+};
+
+struct StubExplanation {
+  StubFeatureSet features;
+  double precision = 0.0;
+  double coverage = 0.0;
+  bool met_threshold = false;
+  std::size_t model_queries = 0;
+  ck::QueryStats query_stats;
+};
+
+struct StubTraits {
+  using Block = StubBlock;
+  using Feature = StubFeature;
+  using FeatureSet = StubFeatureSet;
+  using Perturber = StubPerturber;
+  using PerturbedBlock = StubPerturbed;
+  using Model = StubModel;
+  using Options = StubOptions;
+  using Explanation = StubExplanation;
+  static FeatureSet extract_features(const Block&, const Options&) {
+    return FeatureSet{{StubFeature{1}}};
+  }
+  static Perturber make_perturber(const Block&, const Options& options) {
+    return Perturber{options.empty_stride};
+  }
+};
+
 cx::BasicBlock golden_block() {
   return cx::parse_block(R"(
     mov rax, 5
@@ -137,6 +235,80 @@ TEST(AnchorEngine, RiscvInstantiationUsesTheSameBrokerDiscipline) {
   EXPECT_GT(e.query_stats.batch_calls, 0u);
   EXPECT_GT(e.query_stats.cache_hits, 0u);
   EXPECT_LE(e.query_stats.evaluated, e.query_stats.requested);
+}
+
+// ---------- precision accounting with empty perturbations ----------
+
+// Regression: estimate_precision used to keep empty perturbations in the
+// denominator while skipping them in the batch, biasing Prec(F) down on
+// blocks whose perturber emits empties — and disagreeing with the search's
+// arm scoring, which only counts evaluated samples. With a model that is
+// always within epsilon, precision must be exactly 1.0 no matter how many
+// samples came back empty.
+TEST(AnchorEngine, EstimatePrecisionIgnoresEmptyPerturbations) {
+  const StubModel model;  // hit_percent = 100: every prediction == base
+  StubOptions opt;
+  opt.empty_stride = 2;  // roughly half of all perturbations are empty
+  const cc::AnchorEngine<StubTraits> engine(model, opt);
+  const StubBlock block{"base"};
+  comet::util::Rng rng(9);
+  const double prec =
+      engine.estimate_precision(block, StubFeatureSet{}, 400, rng);
+  EXPECT_DOUBLE_EQ(prec, 1.0);
+}
+
+// ---------- the KL-lower-bound acceptance gate ----------
+
+// With a positive final_precision_samples budget, an anchor whose raw mean
+// clears the threshold but whose KL lower bound cannot (true hit rate ~0.70
+// == the threshold: at 200 pulls the LB sits well below it) must be
+// REJECTED even though its early 12-pull mean spiked to 0.917.
+// Before the fix, "lb_ok || mean >= threshold" accepted it — the lower
+// bound could never fire because kl_lower_bound(mean, ...) <= mean.
+TEST(AnchorEngine, KlLowerBoundGateRejectsUnverifiableAnchors) {
+  StubModel model;
+  model.hit_percent = 70;
+  StubOptions opt;
+  opt.delta = 0.3;  // threshold 0.7
+  opt.final_precision_samples = 200;
+  opt.coverage_samples = 50;
+  opt.seed = 8;
+  const cc::AnchorEngine<StubTraits> engine(model, opt);
+  const auto e = engine.explain(StubBlock{"base"});
+  EXPECT_FALSE(e.met_threshold);
+  // The best-effort candidate still reports its (unverified) precision.
+  EXPECT_GE(e.precision, 0.7);
+}
+
+// A zero budget disables verification: the same anchor is accepted on its
+// raw mean (the historical rule RvExplainOptions pins).
+TEST(AnchorEngine, ZeroFirmUpBudgetFallsBackToMeanOnlyRule) {
+  StubModel model;
+  model.hit_percent = 70;
+  StubOptions opt;
+  opt.delta = 0.3;
+  opt.final_precision_samples = 0;
+  opt.coverage_samples = 50;
+  opt.seed = 8;
+  const cc::AnchorEngine<StubTraits> engine(model, opt);
+  const auto e = engine.explain(StubBlock{"base"});
+  EXPECT_TRUE(e.met_threshold);
+  EXPECT_GE(e.precision, 0.7);
+}
+
+// A clean anchor (hit rate 1.0) must still pass the gate with room to
+// spare: the LB of a run of pure hits clears 0.7 after a handful of pulls.
+TEST(AnchorEngine, KlLowerBoundGateAcceptsCleanAnchors) {
+  const StubModel model;  // 100% hits
+  StubOptions opt;
+  opt.delta = 0.3;
+  opt.final_precision_samples = 200;
+  opt.coverage_samples = 50;
+  opt.seed = 3;
+  const cc::AnchorEngine<StubTraits> engine(model, opt);
+  const auto e = engine.explain(StubBlock{"base"});
+  EXPECT_TRUE(e.met_threshold);
+  EXPECT_DOUBLE_EQ(e.precision, 1.0);
 }
 
 // ---------- estimator parity across the shared engine ----------

@@ -1,0 +1,172 @@
+// Batched-vs-scalar parity suite: for every cost model, predict_batch over
+// a mixed batch (empty blocks, duplicates, varied sizes) must match
+// per-block predict() bit-for-bit — sequentially AND with the batch chunked
+// across the shared thread pool (set_batch_threads). This is the contract
+// the query broker, the sharded serving layer, and the engine's golden
+// parity all stand on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bhive/generator.h"
+#include "cost/crude_model.h"
+#include "cost/granite_model.h"
+#include "cost/ithemal_model.h"
+#include "sim/models.h"
+#include "util/rng.h"
+
+namespace cc = comet::cost;
+namespace cb = comet::bhive;
+namespace cs = comet::sim;
+namespace cx = comet::x86;
+
+namespace {
+
+// Mixed batch: varied generated blocks, interleaved empty blocks, and exact
+// duplicates (the shape broker traffic takes after memoization misses).
+std::vector<cx::BasicBlock> mixed_batch(std::size_t n, std::uint64_t seed) {
+  const cb::BlockGenerator generator;
+  comet::util::Rng rng(seed);
+  std::vector<cx::BasicBlock> blocks;
+  blocks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 9 == 4) {
+      blocks.emplace_back();  // empty block
+    } else if (i > 6 && i % 5 == 0) {
+      blocks.push_back(blocks[i / 2]);  // duplicate
+    } else {
+      blocks.push_back(generator.generate(rng));
+    }
+  }
+  return blocks;
+}
+
+// Bit-for-bit check of predict_batch against element-wise predict(), first
+// sequentially, then with the batch chunked over 4 pool threads.
+void expect_batch_parity(cc::CostModel& model, std::size_t batch_size) {
+  const auto blocks = mixed_batch(batch_size, /*seed=*/17);
+  std::vector<double> scalar(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    scalar[i] = model.predict(blocks[i]);
+  }
+
+  std::vector<double> batched(blocks.size(), -1.0);
+  model.predict_batch(std::span<const cx::BasicBlock>(blocks),
+                      std::span<double>(batched));
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(batched[i], scalar[i])
+        << model.name() << " sequential batch diverges at " << i;
+  }
+
+  model.set_batch_threads(4);
+  std::vector<double> threaded(blocks.size(), -1.0);
+  model.predict_batch(std::span<const cx::BasicBlock>(blocks),
+                      std::span<double>(threaded));
+  model.set_batch_threads(1);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(threaded[i], scalar[i])
+        << model.name() << " threaded batch diverges at " << i;
+  }
+}
+
+cc::IthemalConfig tiny_ithemal() {
+  cc::IthemalConfig cfg;
+  cfg.embed_dim = 8;
+  cfg.hidden_dim = 12;
+  cfg.epochs = 2;
+  return cfg;
+}
+
+cc::GraniteConfig tiny_granite() {
+  cc::GraniteConfig cfg;
+  cfg.embed_dim = 8;
+  cfg.hidden_dim = 12;
+  cfg.epochs = 2;
+  return cfg;
+}
+
+const cc::MicroArch HSW = cc::MicroArch::Haswell;
+
+}  // namespace
+
+TEST(BatchParity, Crude) {
+  cc::CrudeModel model(HSW);
+  expect_batch_parity(model, 64);
+}
+
+TEST(BatchParity, Oracle) {
+  cs::HardwareOracle model(HSW);
+  expect_batch_parity(model, 64);
+}
+
+TEST(BatchParity, UiCA) {
+  cs::UiCASimModel model(HSW);
+  expect_batch_parity(model, 64);
+}
+
+TEST(BatchParity, Mca) {
+  cs::McaLikeModel model(HSW);
+  expect_batch_parity(model, 64);
+}
+
+TEST(BatchParity, Granite) {
+  cc::GraniteModel model(HSW, tiny_granite());
+  expect_batch_parity(model, 64);
+}
+
+// The cross-block lane-packed LSTM path: exercised at several batch sizes
+// (single lane, lanes that retire at different timesteps, chunk-boundary
+// cases for the threaded run) and with weights moved off the deterministic
+// init by a few training steps.
+TEST(BatchParity, IthemalUntrained) {
+  cc::IthemalModel model(HSW, tiny_ithemal());
+  expect_batch_parity(model, 1);
+  expect_batch_parity(model, 2);
+  expect_batch_parity(model, 7);
+  expect_batch_parity(model, 64);
+  expect_batch_parity(model, 130);
+}
+
+TEST(BatchParity, IthemalTrained) {
+  cc::IthemalModel model(HSW, tiny_ithemal());
+  const cb::BlockGenerator generator;
+  comet::util::Rng rng(23);
+  for (int i = 0; i < 30; ++i) {
+    const auto block = generator.generate(rng);
+    model.train_step(block, 1.0 + static_cast<double>(block.size()) / 4.0);
+  }
+  expect_batch_parity(model, 64);
+}
+
+TEST(BatchParity, SkylakeModelsToo) {
+  cc::CrudeModel crude(cc::MicroArch::Skylake);
+  expect_batch_parity(crude, 48);
+  cc::IthemalModel ithemal(cc::MicroArch::Skylake, tiny_ithemal());
+  expect_batch_parity(ithemal, 48);
+}
+
+// An all-empty batch must not touch the model core at all.
+TEST(BatchParity, AllEmptyBatch) {
+  cc::IthemalModel model(HSW, tiny_ithemal());
+  std::vector<cx::BasicBlock> blocks(5);
+  std::vector<double> out(blocks.size(), -1.0);
+  model.predict_batch(std::span<const cx::BasicBlock>(blocks),
+                      std::span<double>(out));
+  for (const double v : out) EXPECT_EQ(v, 0.0);
+}
+
+// The default base-class fallback also honors the knob (a model without a
+// vectorized override still chunks across the pool).
+TEST(BatchParity, BaseClassFallbackHonorsBatchThreads) {
+  class PlainModel final : public cc::CostModel {
+   public:
+    double predict(const cx::BasicBlock& block) const override {
+      return 1.0 + static_cast<double>(block.size());
+    }
+    std::string name() const override { return "plain"; }
+  };
+  PlainModel model;
+  expect_batch_parity(model, 64);
+}

@@ -160,6 +160,32 @@ TEST(Ithemal, LoadRejectsMissingOrCorruptFiles) {
   std::filesystem::remove(path);
 }
 
+// Regression: a failed load must not leave the model half-overwritten.
+// Historically load() streamed weights straight into the live matrices and
+// only then noticed the file was truncated, so a corrupt cache poisoned the
+// model that train_or_load would silently "retrain" from garbage.
+TEST(Ithemal, FailedLoadLeavesPredictionsUnchanged) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "comet_test_truncated.bin";
+  cc::IthemalModel trained(HSW, tiny_config());
+  const auto block = cx::parse_block("add rcx, rax\nmov rdx, rcx");
+  trained.train_step(block, 2.0);
+  trained.save(path);
+
+  // Truncate the checkpoint mid-weights: keep the magic and the first
+  // matrix header so the failure happens deep inside the read, after the
+  // old code had already clobbered part of the model.
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+
+  cc::IthemalModel victim(HSW, tiny_config());
+  victim.train_step(block, 5.0);  // distinct live weights worth preserving
+  const double before = victim.predict(block);
+  EXPECT_FALSE(victim.load(path));
+  EXPECT_DOUBLE_EQ(victim.predict(block), before);
+  std::filesystem::remove(path);
+}
+
 TEST(Ithemal, LoadRejectsDimensionMismatch) {
   const auto path =
       std::filesystem::temp_directory_path() / "comet_test_dims.bin";
