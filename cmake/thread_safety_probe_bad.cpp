@@ -1,0 +1,23 @@
+// Negative probe for the COMET_THREAD_SAFETY gate (see CMakeLists.txt):
+// reads a COMET_GUARDED_BY member without holding its mutex. Under
+// -Werror=thread-safety-analysis this file MUST fail to compile; if it
+// compiles, the analysis is not actually running and the configure step
+// aborts. (Never add this file to any target.)
+#include "util/sync.h"
+
+namespace {
+
+struct Counter {
+  comet::util::Mutex mutex;
+  int value COMET_GUARDED_BY(mutex) = 0;
+
+  // Missing MutexLock — the exact misuse the gate exists to reject.
+  int unlocked_read() { return value; }
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.unlocked_read();
+}

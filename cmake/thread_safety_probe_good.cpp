@@ -1,0 +1,24 @@
+// Positive probe for the COMET_THREAD_SAFETY gate (see CMakeLists.txt):
+// a correctly locked use of the annotated primitives. If this fails to
+// compile, the analysis flags themselves are broken (wrong compiler, wrong
+// spelling) — the gate must abort rather than silently check nothing.
+#include "util/sync.h"
+
+namespace {
+
+struct Counter {
+  comet::util::Mutex mutex;
+  int value COMET_GUARDED_BY(mutex) = 0;
+
+  int increment() COMET_EXCLUDES(mutex) {
+    comet::util::MutexLock lock(mutex);
+    return ++value;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.increment() == 1 ? 0 : 1;
+}

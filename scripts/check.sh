@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
 # One-command tier-1 gate: configure, build (-Wall -Wextra are always on in
-# CMakeLists.txt), and run the full ctest suite.
+# CMakeLists.txt), and run the full ctest suite (which includes the
+# comet-lint invariant checks).
 #
-#   scripts/check.sh            # incremental build into ./build
-#   scripts/check.sh --clean    # wipe ./build first
-#   scripts/check.sh --tsan     # ThreadSanitizer pass over the serving
-#                               # tests (separate ./build-tsan tree)
-#   scripts/check.sh --asan     # AddressSanitizer pass over the full test
-#                               # suite (separate ./build-asan tree)
+#   scripts/check.sh                  # incremental build into ./build
+#   scripts/check.sh --clean          # wipe the mode's build tree first
+#   scripts/check.sh --tsan           # ThreadSanitizer pass over the
+#                                     # serving tests (./build-tsan)
+#   scripts/check.sh --asan           # AddressSanitizer pass over the full
+#                                     # test suite (./build-asan)
+#   scripts/check.sh --ubsan          # UndefinedBehaviorSanitizer pass over
+#                                     # the full test suite (./build-ubsan)
+#   scripts/check.sh --thread-safety  # Clang -Wthread-safety compile gate +
+#                                     # full suite (./build-ts; needs clang)
+#   scripts/check.sh --tidy           # clang-tidy (.clang-tidy config) over
+#                                     # src/ (./build-tidy; needs clang-tidy)
+#   scripts/check.sh --lint           # just the comet-lint rules (no build)
 #   COMET_CHECK_WERROR=1 scripts/check.sh   # promote warnings to errors
 set -euo pipefail
 
@@ -16,22 +24,23 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${COMET_BUILD_DIR:-build}
 TSAN_DIR=${COMET_TSAN_BUILD_DIR:-build-tsan}
 ASAN_DIR=${COMET_ASAN_BUILD_DIR:-build-asan}
-TSAN=0
-ASAN=0
+UBSAN_DIR=${COMET_UBSAN_BUILD_DIR:-build-ubsan}
+TS_DIR=${COMET_TS_BUILD_DIR:-build-ts}
+TIDY_DIR=${COMET_TIDY_BUILD_DIR:-build-tidy}
+MODE=plain
 CLEAN=0
 for arg in "$@"; do
   case "$arg" in
     --clean) CLEAN=1 ;;
-    --tsan)  TSAN=1 ;;
-    --asan)  ASAN=1 ;;
+    --tsan)  MODE=tsan ;;
+    --asan)  MODE=asan ;;
+    --ubsan) MODE=ubsan ;;
+    --thread-safety) MODE=thread-safety ;;
+    --tidy)  MODE=tidy ;;
+    --lint)  MODE=lint ;;
     *) echo "check.sh: unknown flag '$arg'" >&2; exit 2 ;;
   esac
 done
-if [[ "$CLEAN" == "1" ]]; then
-  rm -rf "$BUILD_DIR"
-  [[ "$TSAN" == "1" ]] && rm -rf "$TSAN_DIR"
-  [[ "$ASAN" == "1" ]] && rm -rf "$ASAN_DIR"
-fi
 
 CMAKE_ARGS=()
 if [[ "${COMET_CHECK_WERROR:-0}" == "1" ]]; then
@@ -40,41 +49,103 @@ fi
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-if [[ "$TSAN" == "1" ]]; then
-  # Race-detection pass over the concurrent serving subsystem (and the
-  # query broker underneath it). Uses its own build tree so the regular
-  # incremental build stays sanitizer-free.
-  cmake -B "$TSAN_DIR" -S . -DCOMET_TSAN=ON "${CMAKE_ARGS[@]}"
-  TSAN_TARGETS=$(cmake --build "$TSAN_DIR" --target help 2>/dev/null || true)
-  if ! grep -qw test_serve <<<"$TSAN_TARGETS"; then
-    echo "check.sh: GTest not found - serving test targets unavailable" >&2
-    exit 1
-  fi
-  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve test_query_broker \
-    test_batch_parity
-  ctest --test-dir "$TSAN_DIR" --output-on-failure \
-    -R 'test_serve|test_query_broker|test_batch_parity'
-  echo "check.sh: tsan serving pass green"
-  exit 0
-fi
-
-if [[ "$ASAN" == "1" ]]; then
-  # Memory-error pass over the whole suite (the lane-packed batch paths do
-  # manual panel indexing; ASan keeps them honest). Own build tree, same
-  # reasoning as above.
-  cmake -B "$ASAN_DIR" -S . -DCOMET_ASAN=ON "${CMAKE_ARGS[@]}"
-  ASAN_TARGETS=$(cmake --build "$ASAN_DIR" --target help 2>/dev/null || true)
-  if ! grep -qw test_batch_parity <<<"$ASAN_TARGETS"; then
+# Build + full ctest suite in a dedicated tree with extra cmake args.
+run_suite() {
+  local dir=$1; shift
+  [[ "$CLEAN" == "1" ]] && rm -rf "$dir"
+  cmake -B "$dir" -S . "$@" "${CMAKE_ARGS[@]}"
+  local targets
+  targets=$(cmake --build "$dir" --target help 2>/dev/null || true)
+  if ! grep -qw test_batch_parity <<<"$targets"; then
     echo "check.sh: GTest not found - test targets unavailable" >&2
     exit 1
   fi
-  cmake --build "$ASAN_DIR" -j "$JOBS"
-  ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS"
-  echo "check.sh: asan pass green"
-  exit 0
-fi
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
 
-cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
-cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
-echo "check.sh: all green"
+case "$MODE" in
+  lint)
+    # The standalone invariant pass; also runs as ctest targets comet_lint
+    # and test_lint inside every suite below.
+    python3 scripts/comet_lint.py
+    python3 tests/test_lint.py
+    echo "check.sh: lint pass green"
+    ;;
+
+  tsan)
+    # Race-detection pass over the concurrent serving subsystem (and the
+    # query broker underneath it). Uses its own build tree so the regular
+    # incremental build stays sanitizer-free.
+    [[ "$CLEAN" == "1" ]] && rm -rf "$TSAN_DIR"
+    cmake -B "$TSAN_DIR" -S . -DCOMET_TSAN=ON "${CMAKE_ARGS[@]}"
+    TSAN_TARGETS=$(cmake --build "$TSAN_DIR" --target help 2>/dev/null || true)
+    if ! grep -qw test_serve <<<"$TSAN_TARGETS"; then
+      echo "check.sh: GTest not found - serving test targets unavailable" >&2
+      exit 1
+    fi
+    cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve \
+      test_query_broker test_batch_parity
+    ctest --test-dir "$TSAN_DIR" --output-on-failure \
+      -R 'test_serve|test_query_broker|test_batch_parity'
+    echo "check.sh: tsan serving pass green"
+    ;;
+
+  asan)
+    # Memory-error pass over the whole suite (the lane-packed batch paths
+    # do manual panel indexing; ASan keeps them honest).
+    run_suite "$ASAN_DIR" -DCOMET_ASAN=ON
+    echo "check.sh: asan pass green"
+    ;;
+
+  ubsan)
+    # Undefined-behaviour pass over the whole suite; -fno-sanitize-recover
+    # in CMakeLists.txt means any finding aborts its test.
+    run_suite "$UBSAN_DIR" -DCOMET_UBSAN=ON
+    echo "check.sh: ubsan pass green"
+    ;;
+
+  thread-safety)
+    # Compile-time locking-contract gate: the whole library + tests must
+    # build warning-clean under Clang's -Wthread-safety (promoted to
+    # errors), then the suite runs as usual. Requires clang; the configure
+    # step self-tests that the analysis actually rejects a misuse probe.
+    CLANG=${COMET_CLANG:-clang++}
+    if ! command -v "$CLANG" >/dev/null 2>&1; then
+      echo "check.sh: '$CLANG' not found - the thread-safety gate needs" \
+           "Clang (set COMET_CLANG to override)" >&2
+      exit 1
+    fi
+    run_suite "$TS_DIR" -DCOMET_THREAD_SAFETY=ON \
+      -DCMAKE_CXX_COMPILER="$CLANG"
+    echo "check.sh: thread-safety pass green"
+    ;;
+
+  tidy)
+    # clang-tidy (curated .clang-tidy at the repo root) over all library
+    # translation units, using a compile_commands.json from a dedicated
+    # configure. COMET_NATIVE_KERNELS=OFF: the tidy tree only needs to
+    # parse, and clang chokes on GCC-specific -march report details less.
+    TIDY=${COMET_CLANG_TIDY:-clang-tidy}
+    if ! command -v "$TIDY" >/dev/null 2>&1; then
+      echo "check.sh: '$TIDY' not found - install clang-tidy (set" \
+           "COMET_CLANG_TIDY to override)" >&2
+      exit 1
+    fi
+    [[ "$CLEAN" == "1" ]] && rm -rf "$TIDY_DIR"
+    cmake -B "$TIDY_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DCOMET_NATIVE_KERNELS=OFF "${CMAKE_ARGS[@]}" >/dev/null
+    find src -name '*.cpp' -print0 \
+      | xargs -0 -P "$JOBS" -n 4 "$TIDY" -p "$TIDY_DIR" --quiet \
+        --warnings-as-errors='*'
+    echo "check.sh: tidy pass green"
+    ;;
+
+  plain)
+    [[ "$CLEAN" == "1" ]] && rm -rf "$BUILD_DIR"
+    cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+    cmake --build "$BUILD_DIR" -j "$JOBS"
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+    echo "check.sh: all green"
+    ;;
+esac

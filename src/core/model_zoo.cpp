@@ -21,6 +21,8 @@ const bhive::Dataset& zoo_dataset() {
 }
 
 std::string zoo_data_dir() {
+  // Read-only env lookup during setup, before any worker thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* dir = std::getenv("COMET_DATA_DIR")) return dir;
   return "data";
 }

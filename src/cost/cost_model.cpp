@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 // Deliberate upward dependency (mirrors core/anchor_engine.h's use of
@@ -12,6 +10,7 @@
 // serve/thread_pool.h includes nothing from cost/, so the include graph
 // stays acyclic.
 #include "serve/thread_pool.h"
+#include "util/sync.h"
 
 namespace comet::cost {
 
@@ -27,6 +26,17 @@ serve::ThreadPool& shared_batch_pool() {
       std::max(2u, std::thread::hardware_concurrency()));
   return pool;
 }
+
+// Join state shared between the calling thread and the posted chunks.
+// Annotated so the chunk-completion protocol — including the
+// notify-while-locked rule that keeps the cv alive (see post lambda) — is
+// checked under COMET_THREAD_SAFETY rather than trusted.
+struct ChunkJoin {
+  util::Mutex mutex;
+  util::CondVar cv;
+  std::size_t done COMET_GUARDED_BY(mutex) = 0;
+  std::exception_ptr error COMET_GUARDED_BY(mutex);
+};
 
 }  // namespace
 
@@ -50,15 +60,12 @@ void CostModel::for_batch_chunks(
   }
   serve::ThreadPool& pool = shared_batch_pool();
   const std::size_t chunk = (total + tasks - 1) / tasks;
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::size_t done = 0;
-  std::size_t posted = 0;
-  std::exception_ptr error;
+  ChunkJoin join;
+  std::size_t posted = 0;  // touched by the calling thread only
   for (std::size_t begin = 0; begin < total; begin += chunk) {
     const std::size_t end = std::min(total, begin + chunk);
     ++posted;
-    pool.post([&, begin, end] {
+    pool.post([&join, &fn, begin, end] {
       // A throwing chunk must not change the error contract vs the
       // sequential path (where the exception reaches the caller) — an
       // escape into the pool's worker loop would std::terminate. Capture
@@ -69,17 +76,23 @@ void CostModel::for_batch_chunks(
       } catch (...) {
         chunk_error = std::current_exception();
       }
-      // Notify while holding the lock: cv and mutex are stack locals of the
-      // caller, and the waiter may destroy them the moment it observes
+      // Notify while holding the lock: the join is a stack local of the
+      // caller, and the waiter may destroy it the moment it observes
       // done == posted — an unlocked notify could touch a dead cv.
-      std::lock_guard<std::mutex> lock(mutex);
-      if (chunk_error != nullptr && error == nullptr) error = chunk_error;
-      ++done;
-      cv.notify_one();
+      util::MutexLock lock(join.mutex);
+      if (chunk_error != nullptr && join.error == nullptr) {
+        join.error = chunk_error;
+      }
+      ++join.done;
+      join.cv.notify_one();
     });
   }
-  std::unique_lock<std::mutex> lock(mutex);
-  cv.wait(lock, [&] { return done == posted; });
+  std::exception_ptr error;
+  {
+    util::MutexLock lock(join.mutex);
+    while (join.done != posted) join.cv.wait(lock);
+    error = join.error;
+  }
   if (error != nullptr) std::rethrow_exception(error);
 }
 

@@ -250,20 +250,29 @@ void GraniteModel::save(const std::filesystem::path& path) const {
     throw std::runtime_error("GraniteModel::save: cannot open " +
                              path.string());
   }
+  bool ok = true;
   const auto write_mat = [&](const nn::Mat& m) {
     const std::uint64_t dims[2] = {m.rows(), m.cols()};
-    std::fwrite(dims, sizeof(dims), 1, fp);
-    std::fwrite(m.data(), sizeof(float), m.size(), fp);
+    ok = ok && std::fwrite(dims, sizeof(dims), 1, fp) == 1;
+    ok = ok && std::fwrite(m.data(), sizeof(float), m.size(), fp) == m.size();
   };
-  std::fwrite(&kMagic, sizeof(kMagic), 1, fp);
+  ok = std::fwrite(&kMagic, sizeof(kMagic), 1, fp) == 1;
   write_mat(embedding_);
   write_mat(feat_w_);
-  for (auto& layer : const_cast<GraniteModel*>(this)->layers_) {
-    for (auto* p : layer.params()) write_mat(*p);
+  for (const auto& layer : layers_) {
+    for (const auto* p : layer.params()) write_mat(*p);
   }
   write_mat(head_w_);
   write_mat(head_b_);
-  std::fclose(fp);
+  ok = std::fclose(fp) == 0 && ok;
+  if (!ok) {
+    // A short write would masquerade as a valid cache until the next load;
+    // remove the partial file and fail loudly instead.
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    throw std::runtime_error("GraniteModel::save: short write to " +
+                             path.string());
+  }
 }
 
 bool GraniteModel::load(const std::filesystem::path& path) {

@@ -125,8 +125,10 @@ void Adam::step() {
     }
   }
 
-  const double bc1 = 1.0 - std::pow(config_.beta1, t_);
-  const double bc2 = 1.0 - std::pow(config_.beta2, t_);
+  // Training-only path: Adam's bias correction is not part of the
+  // batched==scalar inference parity contract, so libm is fine here.
+  const double bc1 = 1.0 - std::pow(config_.beta1, t_);  // comet-lint: allow(libm-in-nn)
+  const double bc2 = 1.0 - std::pow(config_.beta2, t_);  // comet-lint: allow(libm-in-nn)
   for (std::size_t k = 0; k < params_.size(); ++k) {
     Mat* p = params_[k];
     auto& m = m_[k];

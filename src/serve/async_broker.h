@@ -27,13 +27,13 @@
 #include <cstddef>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "cost/query_broker.h"
 #include "serve/thread_pool.h"
+#include "util/sync.h"
 
 namespace comet::serve {
 
@@ -61,7 +61,7 @@ class AsyncBroker {
     auto task = std::make_shared<std::packaged_task<std::vector<double>()>>(
         [this, blocks = std::move(blocks)]() mutable {
           std::vector<double> out(blocks.size());
-          std::lock_guard<std::mutex> lock(broker_mutex_);
+          util::MutexLock lock(broker_mutex_);
           broker_->predict_batch(std::span<const Block>(blocks),
                                  std::span<double>(out));
           return out;
@@ -82,8 +82,8 @@ class AsyncBroker {
 
   /// Ledger snapshot. Only consistent when no batch is mid-evaluation;
   /// call after collecting all outstanding futures.
-  cost::QueryStats stats() {
-    std::lock_guard<std::mutex> lock(broker_mutex_);
+  cost::QueryStats stats() COMET_EXCLUDES(broker_mutex_) {
+    util::MutexLock lock(broker_mutex_);
     return broker_->stats();
   }
 
@@ -91,8 +91,10 @@ class AsyncBroker {
 
  private:
   std::unique_ptr<Broker> owned_;  // null in the wrapping form
-  Broker* broker_;
-  std::mutex broker_mutex_;  // serializes pool workers on the one broker
+  // The pointer itself is set once at construction; the broker it points
+  // to (memo cache, ledger, scratch) is what the mutex serializes.
+  Broker* broker_ COMET_PT_GUARDED_BY(broker_mutex_);
+  util::Mutex broker_mutex_;  // serializes pool workers on the one broker
   ThreadPool pool_;
 };
 

@@ -30,13 +30,11 @@
 // ready-made aliases.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -46,6 +44,7 @@
 
 #include "core/anchor_engine.h"
 #include "cost/query_stats.h"
+#include "util/sync.h"
 
 namespace comet::serve {
 
@@ -80,9 +79,9 @@ class ExplanationServer {
   }
 
   /// Graceful drain: every accepted job completes before the workers join.
-  ~ExplanationServer() {
+  ~ExplanationServer() COMET_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       stopping_ = true;
     }
     cv_work_.notify_all();
@@ -96,27 +95,27 @@ class ExplanationServer {
   /// (all models in this repository are) or internally synchronized (a
   /// ShardedCostModel); it is shared by every job submitted under the key.
   void register_model(const std::string& key,
-                      std::shared_ptr<const Model> model) {
-    std::lock_guard<std::mutex> lock(mutex_);
+                      std::shared_ptr<const Model> model)
+      COMET_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     models_[key] = std::move(model);
   }
 
   /// Blocking submit: waits for queue space (backpressure), returns the
   /// job's ticket. Throws std::out_of_range for an unregistered key.
   std::uint64_t submit(const std::string& model_key, Block block,
-                       Options options) {
-    std::unique_lock<std::mutex> lock(mutex_);
+                       Options options) COMET_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     std::shared_ptr<const Model> model = lookup(model_key);
-    cv_space_.wait(lock,
-                   [this] { return queue_.size() < options_.queue_capacity; });
+    while (queue_.size() >= options_.queue_capacity) cv_space_.wait(lock);
     return enqueue(model_key, std::move(model), std::move(block),
                    std::move(options));
   }
 
   /// Non-blocking submit: false (and no ticket) when the queue is full.
   bool try_submit(const std::string& model_key, Block block, Options options,
-                  std::uint64_t* id = nullptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
+                  std::uint64_t* id = nullptr) COMET_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     std::shared_ptr<const Model> model = lookup(model_key);
     if (queue_.size() >= options_.queue_capacity) return false;
     const std::uint64_t ticket = enqueue(model_key, std::move(model),
@@ -128,10 +127,9 @@ class ExplanationServer {
   /// Next completed explanation, in completion order. Blocks while
   /// accepted jobs are outstanding; returns nullopt once every accepted
   /// job has been delivered.
-  std::optional<Served> next() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock,
-                  [this] { return !completed_.empty() || outstanding_ == 0; });
+  std::optional<Served> next() COMET_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    while (completed_.empty() && outstanding_ != 0) cv_done_.wait(lock);
     if (completed_.empty()) return std::nullopt;
     Served served = std::move(completed_.front());
     completed_.pop_front();
@@ -140,9 +138,9 @@ class ExplanationServer {
 
   /// Wait for every accepted job, then return all undelivered results in
   /// completion order.
-  std::vector<Served> drain() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [this] { return outstanding_ == 0; });
+  std::vector<Served> drain() COMET_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    while (outstanding_ != 0) cv_done_.wait(lock);
     std::vector<Served> out;
     out.reserve(completed_.size());
     for (auto& served : completed_) out.push_back(std::move(served));
@@ -151,20 +149,21 @@ class ExplanationServer {
   }
 
   /// Accepted jobs not yet completed (queued + running).
-  std::size_t outstanding() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t outstanding() const COMET_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return outstanding_;
   }
 
   /// Per-key merged query ledgers of everything served so far.
-  std::map<std::string, cost::QueryStats> stats_by_model() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, cost::QueryStats> stats_by_model() const
+      COMET_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return stats_;
   }
 
   /// Drain report: one line per model key with its merged ledger.
-  std::string report() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::string report() const COMET_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     std::string out;
     for (const auto& [key, stats] : stats_) {
       out += "  " + key + ": " + stats.to_string() + "\n";
@@ -181,9 +180,11 @@ class ExplanationServer {
     Options options;
   };
 
-  // Caller holds mutex_. Resolves the model at admission time so workers
-  // never touch the registry.
-  std::shared_ptr<const Model> lookup(const std::string& key) const {
+  // Resolves the model at admission time so workers never touch the
+  // registry (the REQUIRES makes "caller holds mutex_" a compile-time
+  // contract).
+  std::shared_ptr<const Model> lookup(const std::string& key) const
+      COMET_REQUIRES(mutex_) {
     const auto it = models_.find(key);
     if (it == models_.end()) {
       throw std::out_of_range("ExplanationServer: unregistered model key '" +
@@ -192,10 +193,10 @@ class ExplanationServer {
     return it->second;
   }
 
-  // Caller holds mutex_ and has verified queue space.
+  // Caller has verified queue space (and, per the annotation, holds mutex_).
   std::uint64_t enqueue(const std::string& model_key,
                         std::shared_ptr<const Model> model, Block block,
-                        Options options) {
+                        Options options) COMET_REQUIRES(mutex_) {
     const std::uint64_t ticket = next_id_++;
     Request request;
     request.id = ticket;
@@ -209,12 +210,12 @@ class ExplanationServer {
     return ticket;
   }
 
-  void worker_loop() {
+  void worker_loop() COMET_EXCLUDES(mutex_) {
     for (;;) {
       Request request;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        util::MutexLock lock(mutex_);
+        while (!stopping_ && queue_.empty()) cv_work_.wait(lock);
         if (queue_.empty()) return;  // stopping and fully drained
         request = std::move(queue_.front());
         queue_.pop_front();
@@ -228,7 +229,7 @@ class ExplanationServer {
       served.model_key = std::move(request.model_key);
       served.explanation = engine.explain(request.block);
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         stats_[served.model_key] += served.explanation.query_stats;
         completed_.push_back(std::move(served));
         --outstanding_;
@@ -237,19 +238,20 @@ class ExplanationServer {
     }
   }
 
-  ServeOptions options_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_work_;   // queue gained work / stopping
-  std::condition_variable cv_space_;  // queue gained space
-  std::condition_variable cv_done_;   // a job completed
-  std::map<std::string, std::shared_ptr<const Model>> models_;
-  std::deque<Request> queue_;
-  std::deque<Served> completed_;
-  std::map<std::string, cost::QueryStats> stats_;
-  std::size_t outstanding_ = 0;
-  std::uint64_t next_id_ = 1;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  ServeOptions options_;  // immutable after construction
+  mutable util::Mutex mutex_;
+  util::CondVar cv_work_;   // queue gained work / stopping
+  util::CondVar cv_space_;  // queue gained space
+  util::CondVar cv_done_;   // a job completed
+  std::map<std::string, std::shared_ptr<const Model>> models_
+      COMET_GUARDED_BY(mutex_);
+  std::deque<Request> queue_ COMET_GUARDED_BY(mutex_);
+  std::deque<Served> completed_ COMET_GUARDED_BY(mutex_);
+  std::map<std::string, cost::QueryStats> stats_ COMET_GUARDED_BY(mutex_);
+  std::size_t outstanding_ COMET_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_id_ COMET_GUARDED_BY(mutex_) = 1;
+  bool stopping_ COMET_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_;  // written only in the constructor
 };
 
 }  // namespace comet::serve

@@ -21,11 +21,9 @@
 // is the hash spread?) and merged via QueryStats::operator+=.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -34,6 +32,7 @@
 #include "cost/query_broker.h"
 #include "serve/thread_pool.h"
 #include "util/rng.h"
+#include "util/sync.h"
 
 namespace comet::serve {
 
@@ -72,8 +71,10 @@ class ShardedBrokerPool {
     for (std::size_t i = 0; i < blocks.size(); ++i) {
       indices_of[shard_of(blocks[i])].push_back(i);
     }
+    std::size_t sub_batches = 0;
+    for (const auto& idx : indices_of) sub_batches += !idx.empty();
     Join join;
-    for (const auto& idx : indices_of) join.pending += !idx.empty();
+    join.add(sub_batches);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       if (indices_of[s].empty()) continue;
       std::vector<Block> sub;
@@ -115,7 +116,7 @@ class ShardedBrokerPool {
   std::vector<cost::QueryStats> shard_stats() const {
     std::vector<cost::QueryStats> out(shards_.size());
     Join join;
-    join.pending = shards_.size();
+    join.add(shards_.size());
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       shards_[s]->post([shard = shards_[s].get(), &out, s, &join] {
         out[s] = shard->broker.stats();
@@ -140,19 +141,24 @@ class ShardedBrokerPool {
 
  private:
   /// Countdown latch (mutex/cv formulation; <latch> kept out of the
-  /// dependency surface).
+  /// dependency surface). `pending` is set before any shard task can run
+  /// and counted down under the mutex from the shard threads.
   struct Join {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::size_t pending = 0;
+    util::Mutex mutex;
+    util::CondVar cv;
+    std::size_t pending COMET_GUARDED_BY(mutex) = 0;
 
-    void done_one() {
-      std::lock_guard<std::mutex> lock(mutex);
+    void add(std::size_t n) COMET_EXCLUDES(mutex) {
+      util::MutexLock lock(mutex);
+      pending += n;
+    }
+    void done_one() COMET_EXCLUDES(mutex) {
+      util::MutexLock lock(mutex);
       if (--pending == 0) cv.notify_all();
     }
-    void wait() {
-      std::unique_lock<std::mutex> lock(mutex);
-      cv.wait(lock, [this] { return pending == 0; });
+    void wait() COMET_EXCLUDES(mutex) {
+      util::MutexLock lock(mutex);
+      while (pending != 0) cv.wait(lock);
     }
   };
 

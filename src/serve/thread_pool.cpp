@@ -1,5 +1,7 @@
 #include "serve/thread_pool.h"
 
+#include <utility>
+
 namespace comet::serve {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -12,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -21,7 +23,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::post(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     tasks_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -31,8 +33,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) cv_.wait(lock);
       if (tasks_.empty()) return;  // stopping and fully drained
       task = std::move(tasks_.front());
       tasks_.pop_front();

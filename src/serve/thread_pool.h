@@ -1,5 +1,6 @@
 // A fixed-size FIFO thread pool — the execution substrate of the serving
-// layer (serve::AsyncBroker evaluation workers, test harnesses).
+// layer (serve::AsyncBroker evaluation workers, shard threads, the
+// cost::CostModel batch fan-out, test harnesses).
 //
 // Deliberately minimal: tasks are opaque std::function<void()>s executed in
 // submission order by whichever worker frees up first. With one worker the
@@ -9,15 +10,20 @@
 //
 // Shutdown is graceful: the destructor lets workers drain every queued task
 // before joining, so no submitted work is ever dropped.
+//
+// Locking contract (compile-time checked under COMET_THREAD_SAFETY): the
+// task queue and the stop flag are guarded by mutex_; workers_ is written
+// only during construction and joined in the destructor, after every
+// worker has observed stopping_, so it needs no lock.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace comet::serve {
 
@@ -27,23 +33,23 @@ class ThreadPool {
   explicit ThreadPool(std::size_t threads);
 
   /// Drains all queued tasks, then joins the workers.
-  ~ThreadPool();
+  ~ThreadPool() COMET_EXCLUDES(mutex_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task; workers pick tasks up in FIFO order.
-  void post(std::function<void()> task);
+  void post(std::function<void()> task) COMET_EXCLUDES(mutex_);
 
   std::size_t size() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() COMET_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool stopping_ = false;
+  util::Mutex mutex_;
+  util::CondVar cv_;  // signalled on new work and on shutdown
+  std::deque<std::function<void()>> tasks_ COMET_GUARDED_BY(mutex_);
+  bool stopping_ COMET_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,133 @@
+// Annotated synchronization primitives: the repo's only sanctioned route to
+// a mutex or condition variable (enforced by scripts/comet_lint.py rule
+// `raw-sync`).
+//
+// util::Mutex / util::MutexLock / util::CondVar are thin, zero-overhead
+// wrappers over std::mutex / std::unique_lock / std::condition_variable
+// whose one job is to carry Clang thread-safety attributes, so the locking
+// discipline of the concurrent layer (serve/, cost::CostModel's batch
+// fan-out) is a *compile-time contract* instead of a comment:
+//
+//   * a member annotated COMET_GUARDED_BY(mutex_) cannot be read or written
+//     without holding mutex_,
+//   * a method annotated COMET_REQUIRES(mutex_) cannot be called without it,
+//   * a method annotated COMET_EXCLUDES(mutex_) cannot be called with it
+//     (self-deadlock guard),
+//
+// all checked by `-Wthread-safety -Werror=thread-safety-analysis` under
+// Clang (CMake option COMET_THREAD_SAFETY, scripts/check.sh
+// --thread-safety). Under GCC every attribute expands to nothing and the
+// wrappers compile down to the std types they hold.
+//
+// Condition-variable discipline: CondVar deliberately has NO predicate
+// overload of wait(). The std::condition_variable predicate form hides the
+// guarded reads inside a lambda, which the (intra-procedural) analysis
+// checks as a separate unannotated function — the exact blind spot this
+// header exists to close. Write the loop explicitly, so the analysis sees
+// every read of guarded state happen with the lock held:
+//
+//   util::MutexLock lock(mutex_);
+//   while (!stopping_ && queue_.empty()) cv_.wait(lock);
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// Attribute spellings per the Clang thread-safety-analysis documentation
+// (the capability-based vocabulary; abseil's thread_annotations.h uses the
+// same shapes). GCC and MSVC see empty macros.
+#if defined(__clang__)
+#define COMET_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define COMET_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define COMET_CAPABILITY(x) COMET_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define COMET_SCOPED_CAPABILITY COMET_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding `x`.
+#define COMET_GUARDED_BY(x) COMET_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by `x` (the pointer itself may
+/// be read freely).
+#define COMET_PT_GUARDED_BY(x) COMET_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function callable only while holding the listed capabilities.
+#define COMET_REQUIRES(...) \
+  COMET_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function that acquires the listed capabilities (held on return).
+#define COMET_ACQUIRE(...) \
+  COMET_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function that releases the listed capabilities.
+#define COMET_RELEASE(...) \
+  COMET_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function that acquires the capability iff it returns `val`.
+#define COMET_TRY_ACQUIRE(...) \
+  COMET_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function that must NOT be called while holding the listed capabilities
+/// (it acquires them itself; calling with them held would self-deadlock).
+#define COMET_EXCLUDES(...) COMET_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function returning a reference to the capability guarding its result.
+#define COMET_RETURN_CAPABILITY(x) COMET_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the contract holds anyway.
+#define COMET_NO_THREAD_SAFETY_ANALYSIS \
+  COMET_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace comet::util {
+
+class CondVar;
+
+/// std::mutex with the capability attribute: members guarded by an
+/// instance are annotated COMET_GUARDED_BY(that_instance).
+class COMET_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() COMET_ACQUIRE() { mu_.lock(); }
+  void unlock() COMET_RELEASE() { mu_.unlock(); }
+  bool try_lock() COMET_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over util::Mutex — the one lock type in the repo, used
+/// for both lock_guard-style critical sections and CondVar waits (it wraps
+/// a std::unique_lock so CondVar can release/reacquire it while blocked).
+class COMET_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) COMET_ACQUIRE(mutex) : lock_(mutex.mu_) {}
+  ~MutexLock() COMET_RELEASE() {}  // std::unique_lock unlocks
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable over util::MutexLock. No predicate wait() on
+/// purpose — see the header comment for the explicit-while-loop discipline.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock` and blocks; reacquired on return. As with
+  /// any condition variable, spurious wakeups happen: always wait in a
+  /// `while (!condition)` loop.
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace comet::util

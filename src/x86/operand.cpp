@@ -37,7 +37,12 @@ std::string Operand::to_string() const {
       if (m.index) {
         if (!expr.empty()) expr += " + ";
         expr += reg_name(*m.index);
-        if (m.scale != 1) expr += "*" + std::to_string(int(m.scale));
+        if (m.scale != 1) {
+          // Appended in two steps: GCC 12's -Wrestrict false-fires on the
+          // temporary from `"*" + std::to_string(...)` (PR105651).
+          expr += '*';
+          expr += std::to_string(int(m.scale));
+        }
       }
       if (m.disp != 0 || expr.empty()) {
         if (expr.empty()) {

@@ -104,7 +104,11 @@ struct StubPerturber {
   StubPerturbed sample(const StubFeatureSet&, comet::util::Rng& rng) const {
     const std::uint64_t n = rng.next_u64();
     if (empty_stride != 0 && n % empty_stride == 0) return {StubBlock{}};
-    return {StubBlock{"p" + std::to_string(n)}};
+    // Two-step append: GCC 12's -Wrestrict false-fires on the temporary
+    // from `"p" + std::to_string(n)` (PR105651).
+    std::string text = "p";
+    text += std::to_string(n);
+    return {StubBlock{std::move(text)}};
   }
   bool contains(const StubPerturbed& alpha, const StubFeatureSet&) const {
     return !alpha.block.empty();
