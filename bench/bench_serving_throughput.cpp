@@ -17,8 +17,13 @@
 //
 // Acceptance gate printed explicitly: >= 2x throughput at 4 workers vs.
 // sequential, with bit-identical results.
+//
+// Overrides for CI fast smoke (env wins over argv):
+//   COMET_SERVE_WORKERS=2,4   (or argv[1])  worker counts to sweep
+//   COMET_SERVE_JOBS=4        (or argv[2])  number of requests to submit
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,6 +31,7 @@
 #include "bench/bench_common.h"
 #include "bhive/paper_blocks.h"
 #include "cost/crude_model.h"
+#include "obs/metrics.h"
 #include "serve/isa_servers.h"
 #include "serve/remote_model.h"
 #include "sim/models.h"
@@ -71,10 +77,59 @@ bool identical(const cc::Explanation& a, const cc::Explanation& b) {
          a.model_queries == b.model_queries;
 }
 
+// Parses a csv/whitespace list of unsigned integers ("2,4" -> {2, 4}).
+std::vector<std::size_t> parse_counts(const char* s) {
+  std::vector<std::size_t> out;
+  std::size_t cur = 0;
+  bool have = false;
+  for (; s != nullptr && *s != '\0'; ++s) {
+    if (*s >= '0' && *s <= '9') {
+      cur = cur * 10 + static_cast<std::size_t>(*s - '0');
+      have = true;
+    } else if (have) {
+      out.push_back(cur);
+      cur = 0;
+      have = false;
+    }
+  }
+  if (have) out.push_back(cur);
+  return out;
+}
+
+// Merges every histogram whose name starts with `prefix` (i.e. all
+// model_key labels of one base metric) into a single snapshot.
+comet::obs::HistogramSnapshot merged_hist(
+    const comet::obs::MetricsRegistry::Snapshot& snap,
+    const std::string& prefix) {
+  comet::obs::HistogramSnapshot out;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.rfind(prefix, 0) == 0) out += h;
+  }
+  return out;
+}
+
+std::string ns_to_ms(double ns) { return Table::fmt(ns / 1e6, 2); }
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr auto kRoundTrip = std::chrono::microseconds(3000);
+
+  std::vector<std::size_t> worker_counts = {1, 2, 4, 8};
+  if (const char* env = std::getenv("COMET_SERVE_WORKERS")) {
+    worker_counts = parse_counts(env);
+  } else if (argc > 1) {
+    worker_counts = parse_counts(argv[1]);
+  }
+  if (worker_counts.empty()) worker_counts = {1, 2, 4, 8};
+  std::size_t jobs_override = 0;  // 0 = default request set
+  if (const char* env = std::getenv("COMET_SERVE_JOBS")) {
+    const auto parsed = parse_counts(env);
+    if (!parsed.empty()) jobs_override = parsed[0];
+  } else if (argc > 2) {
+    const auto parsed = parse_counts(argv[2]);
+    if (!parsed.empty()) jobs_override = parsed[0];
+  }
 
   auto crude =
       std::make_shared<const ck::CrudeModel>(ck::MicroArch::Haswell);
@@ -94,6 +149,15 @@ int main() {
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     requests.push_back({"crude-hsw", blocks[i], serving_options(10 + i)});
     requests.push_back({"oracle-hsw", blocks[i], serving_options(20 + i)});
+  }
+  if (jobs_override != 0) {
+    std::vector<Request> cycled;
+    for (std::size_t i = 0; i < jobs_override; ++i) {
+      Request r = requests[i % requests.size()];
+      r.options.seed = 100 + i;  // distinct seeds: no hidden dedup
+      cycled.push_back(std::move(r));
+    }
+    requests = std::move(cycled);
   }
 
   print_header(
@@ -124,8 +188,12 @@ int main() {
                  Table::fmt(1000.0 * requests.size() / seq_ms, 2), "1.00x",
                  "-"});
   double speedup_at_4 = 0.0;
+  bool swept_4 = false;
   bool all_identical = true;
-  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+  Table latency({"workers", "queue p50", "queue p95", "queue p99", "run p50",
+                 "run p95", "run p99"});
+  std::string last_report;
+  for (const std::size_t workers : worker_counts) {
     cs::X86ExplanationServer server(
         {.workers = workers, .queue_capacity = requests.size()});
     server.register_model("crude-hsw", remote_crude);
@@ -148,15 +216,39 @@ int main() {
     }
     all_identical = all_identical && ok;
     const double speedup = seq_ms / wall_ms;
-    if (workers == 4) speedup_at_4 = speedup;
+    if (workers == 4) {
+      speedup_at_4 = speedup;
+      swept_4 = true;
+    }
     table.add_row({std::to_string(workers), Table::fmt(wall_ms, 1),
                    Table::fmt(1000.0 * requests.size() / wall_ms, 2),
                    Table::fmt(speedup, 2) + "x", ok ? "yes" : "NO"});
+
+    // Request-lifecycle latencies, merged across model keys (the server
+    // keeps one histogram per model_key label).
+    const auto snap = server.metrics().snapshot();
+    const auto queue = merged_hist(snap, "serve_queue_wait_ns");
+    const auto run = merged_hist(snap, "serve_run_ns");
+    latency.add_row({std::to_string(workers), ns_to_ms(queue.p50()),
+                     ns_to_ms(queue.p95()), ns_to_ms(queue.p99()),
+                     ns_to_ms(run.p50()), ns_to_ms(run.p95()),
+                     ns_to_ms(run.p99())});
+    last_report = server.report();
   }
   std::printf("%s\n", table.to_string().c_str());
-  std::printf("speedup at 4 workers = %.2fx (target >= 2x): %s\n",
-              speedup_at_4,
-              speedup_at_4 >= 2.0 && all_identical ? "PASS" : "FAIL");
+  print_header("Request-lifecycle latency percentiles (ms)",
+               "queue-wait = admit -> worker pickup; run = worker service");
+  std::printf("%s\n", latency.to_string().c_str());
+  std::printf("query traffic at %zu workers:\n%s\n", worker_counts.back(),
+              last_report.c_str());
+  if (swept_4) {
+    std::printf("speedup at 4 workers = %.2fx (target >= 2x): %s\n",
+                speedup_at_4,
+                speedup_at_4 >= 2.0 && all_identical ? "PASS" : "FAIL");
+  } else {
+    std::printf("gate skipped (4 workers not swept); bit-identical: %s\n",
+                all_identical ? "yes" : "NO");
+  }
 
   // ---- engine-level levers on the sequential path ----
   // Widened batches (fuse_arm_pulls) cut the number of round-trips each

@@ -95,6 +95,12 @@ int main() {
   std::printf("\nper-model drain report (merged QueryStats):\n%s",
               server.report().c_str());
 
+  // The server's whole metrics surface — lifecycle counters, queue gauges,
+  // per-model latency histograms — as one JSON snapshot (what a monitoring
+  // hook would export; server.metrics_text() is the Prometheus twin).
+  std::printf("\nmetrics snapshot (JSON):\n%s\n",
+              server.metrics_json().c_str());
+
   std::printf("\n== the same scheduler, serving RISC-V ==\n");
   auto rv_model = std::make_shared<const rv::RvCostModel>();
   rv::RvExplainOptions rv_options;

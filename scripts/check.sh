@@ -74,9 +74,9 @@ case "$MODE" in
     ;;
 
   tsan)
-    # Race-detection pass over the concurrent serving subsystem (and the
-    # query broker underneath it). Uses its own build tree so the regular
-    # incremental build stays sanitizer-free.
+    # Race-detection pass over the concurrent serving subsystem (the query
+    # broker underneath it and the metrics instruments inside it). Uses its
+    # own build tree so the regular incremental build stays sanitizer-free.
     [[ "$CLEAN" == "1" ]] && rm -rf "$TSAN_DIR"
     cmake -B "$TSAN_DIR" -S . -DCOMET_TSAN=ON "${CMAKE_ARGS[@]}"
     TSAN_TARGETS=$(cmake --build "$TSAN_DIR" --target help 2>/dev/null || true)
@@ -85,9 +85,9 @@ case "$MODE" in
       exit 1
     fi
     cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve \
-      test_query_broker test_batch_parity
+      test_query_broker test_batch_parity test_obs
     ctest --test-dir "$TSAN_DIR" --output-on-failure \
-      -R 'test_serve|test_query_broker|test_batch_parity'
+      -R 'test_serve|test_query_broker|test_batch_parity|test_obs'
     echo "check.sh: tsan serving pass green"
     ;;
 

@@ -30,6 +30,12 @@ check:
   using-namespace   No `using namespace` at file scope in src/ (headers are
                     included everywhere; the library namespace discipline
                     keeps them composable).
+  raw-clock         No std::chrono::system_clock / high_resolution_clock in
+                    src/ library code. Timing flows through obs::Clock (or
+                    steady_clock directly in the obs seam itself): wall
+                    clocks jump with NTP/suspend, and a mockable monotonic
+                    seam is what keeps served results bit-identical with
+                    metrics on (PR 7 determinism contract).
 
 Suppression: a finding is silenced by a comment on the same line or the
 line directly above it:
@@ -188,6 +194,10 @@ _STDOUT_RE = re.compile(r"\bstd::cout\b|\b(?:std::)?printf\s*\(|\bstd::puts\b")
 
 _USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+\w")
 
+_RAW_CLOCK_RE = re.compile(
+    r"\b(?:std::chrono::)?(?:system_clock|high_resolution_clock)\b"
+)
+
 # Scrubbed line endings that mean "the next line continues this statement",
 # so a leading fread/fwrite there is not statement position.
 _CONTINUATION_END_RE = re.compile(r"[(&|+\-*/=,<>?:!%]\s*$")
@@ -324,6 +334,18 @@ RULES = [
             _USING_NAMESPACE_RE,
             "`using namespace` at file scope - qualify names instead "
             "(headers are included everywhere)",
+        ),
+    ),
+    Rule(
+        "raw-clock",
+        "no system_clock/high_resolution_clock in src/ library code - time "
+        "flows through the obs::Clock seam (monotonic, mockable; metrics "
+        "must not perturb served results)",
+        lambda p: p.startswith("src/") and p != "src/obs/clock.h",
+        _grep_rule(
+            _RAW_CLOCK_RE,
+            "non-monotonic/unmockable clock - use obs::Clock (steady, "
+            "injectable; see src/obs/clock.h)",
         ),
     ),
 ]

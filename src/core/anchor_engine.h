@@ -42,6 +42,8 @@
 #include <vector>
 
 #include "cost/query_broker.h"
+#include "obs/clock.h"
+#include "obs/phase_timers.h"
 // Deliberate upward dependency: the engine's async_inflight mode pipelines
 // its arm pulls through serve::AsyncBroker (a thin futures layer over the
 // QueryBroker above; it does not include anything from core/, so the
@@ -102,6 +104,15 @@ struct AnchorSearchOptions {
   /// one worker, so results and query accounting are bit-identical to the
   /// synchronous path. 0 = synchronous (default).
   std::size_t async_inflight = 0;
+
+  /// Opt-in per-level phase timing (obs::PhaseTimings on the explanation):
+  /// point at a clock — obs::steady_clock() in production, a ManualClock in
+  /// tests — and the engine stamps each level's beam / arm-pull /
+  /// precision phases plus the coverage-pool build. Readings are taken
+  /// between phases and never feed the search, so the explanation stays
+  /// bit-identical to an untimed run; nullptr (default) performs zero
+  /// clock reads. The pointee must outlive the engine run.
+  const obs::Clock* phase_clock = nullptr;
 
   std::uint64_t seed = 1;
 };
@@ -230,6 +241,23 @@ typename AnchorEngine<Traits>::Explanation AnchorEngine<Traits>::explain(
     }
   };
 
+  // Opt-in phase timing. Stamps are taken strictly *between* phases and
+  // accumulate into the explanation's obs::PhaseTimings; no reading ever
+  // feeds a search decision, so the result is bit-identical to an untimed
+  // run (tests/test_obs.cpp pins this). Without a clock every stamp is the
+  // constant 0 and the additions are dead.
+  const obs::Clock* const phase_clock = options_.phase_clock;
+  obs::PhaseTimings timings;
+  timings.enabled = phase_clock != nullptr;
+  const auto stamp = [&]() -> std::uint64_t {
+    return phase_clock ? phase_clock->now_ns() : 0;
+  };
+  const auto phase_end = [&](std::uint64_t& slot, std::uint64_t& t_prev) {
+    const std::uint64_t now = stamp();
+    slot += now - t_prev;
+    t_prev = now;
+  };
+
   double base = 0.0;
   eval(std::span<const Block>(&block, 1), std::span<double>(&base, 1));
   // Requested queries, counted with the historical semantics: every sample
@@ -242,11 +270,13 @@ typename AnchorEngine<Traits>::Explanation AnchorEngine<Traits>::explain(
   const FeatureSet vocabulary = Traits::extract_features(block, options_);
 
   // Shared coverage pool: samples from D = Γ(∅).
+  std::uint64_t t_coverage = stamp();
   std::vector<PerturbedBlock> coverage_pool;
   coverage_pool.reserve(options_.coverage_samples);
   for (std::size_t i = 0; i < options_.coverage_samples; ++i) {
     coverage_pool.push_back(perturber.sample(FeatureSet{}, rng));
   }
+  phase_end(timings.coverage_ns, t_coverage);
   const auto coverage_of = [&](const FeatureSet& fs) {
     if (coverage_pool.empty()) return 0.0;
     std::size_t hits = 0;
@@ -317,6 +347,9 @@ typename AnchorEngine<Traits>::Explanation AnchorEngine<Traits>::explain(
 
   for (std::size_t level = 1; level <= options_.max_explanation_size;
        ++level) {
+    obs::PhaseTimings::Level level_timing;
+    std::uint64_t t_phase = stamp();
+
     // --- build candidate arms by extending the beam (or singletons). ---
     std::vector<Arm> arms;
     const auto add_candidate = [&](const FeatureSet& fs) {
@@ -339,7 +372,11 @@ typename AnchorEngine<Traits>::Explanation AnchorEngine<Traits>::explain(
         }
       }
     }
-    if (arms.empty()) break;
+    phase_end(level_timing.beam_ns, t_phase);
+    if (arms.empty()) {
+      if (phase_clock) timings.levels.push_back(level_timing);
+      break;
+    }
 
     // --- KL-LUCB: identify the top-B arms by precision. ---
     // Every candidate gets one initial pull. This fan-out is decision-free
@@ -417,6 +454,7 @@ typename AnchorEngine<Traits>::Explanation AnchorEngine<Traits>::explain(
       pull_group(std::span<Arm* const>(separating, 2));
       pulls_done += 2;
     }
+    phase_end(level_timing.pulls_ns, t_phase);
 
     // --- collect valid anchors at this level. ---
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -459,6 +497,8 @@ typename AnchorEngine<Traits>::Explanation AnchorEngine<Traits>::explain(
         anchors_found.push_back(std::move(e));
       }
     }
+    phase_end(level_timing.precision_ns, t_phase);
+    if (phase_clock) timings.levels.push_back(level_timing);
     if (!anchors_found.empty()) break;  // smallest size wins (simplicity)
 
     // --- next beam. ---
@@ -486,6 +526,11 @@ typename AnchorEngine<Traits>::Explanation AnchorEngine<Traits>::explain(
   }
   result.model_queries = queries;
   result.query_stats = broker.stats();
+  // Optional in the Traits contract: an Explanation type without a timings
+  // member (minimal stub traits) simply drops the phase observations.
+  if constexpr (requires { result.timings = std::move(timings); }) {
+    result.timings = std::move(timings);
+  }
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "cost/query_stats.h"
 #include "graph/features.h"
+#include "obs/phase_timers.h"
 #include "util/str.h"
 
 namespace comet::core {
@@ -22,6 +23,10 @@ struct Explanation {
   /// Broker-side traffic accounting for the queries above (batches issued,
   /// memoization hits, predictions actually evaluated).
   cost::QueryStats query_stats;
+  /// Per-level engine phase timings; populated only when the caller set
+  /// AnchorSearchOptions::phase_clock (timings.enabled). Pure observation:
+  /// every other field is bit-identical with timing on or off.
+  obs::PhaseTimings timings;
 
   std::string to_string() const {
     return features.to_string() +

@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <string>
+
+#include "util/str.h"
 
 namespace comet::cost {
 
@@ -39,6 +42,24 @@ struct QueryStats {
 
   friend bool operator==(const QueryStats&, const QueryStats&) = default;
 
+  /// Fraction of requested predictions served from the memo table
+  /// (cache_hits / requested); 0 when nothing was requested.
+  double hit_rate() const {
+    return requested ? static_cast<double>(cache_hits) /
+                           static_cast<double>(requested)
+                     : 0.0;
+  }
+
+  /// Mean predictions evaluated per predict_batch round-trip — the batch
+  /// width a remote or sharded backend actually sees. Single-call
+  /// evaluations are excluded from the numerator; 0 when no batch call was
+  /// issued.
+  double batch_fill() const {
+    return batch_calls ? static_cast<double>(evaluated - single_calls) /
+                             static_cast<double>(batch_calls)
+                       : 0.0;
+  }
+
   /// One-line human-readable form for bench output and server drain
   /// reports.
   std::string to_string() const {
@@ -46,8 +67,22 @@ struct QueryStats {
            " evaluated=" + std::to_string(evaluated) +
            " cache_hits=" + std::to_string(cache_hits) +
            " batch_calls=" + std::to_string(batch_calls) +
-           " single_calls=" + std::to_string(single_calls);
+           " single_calls=" + std::to_string(single_calls) +
+           " hit_rate=" + util::format_fixed(hit_rate(), 3) +
+           " batch_fill=" + util::format_fixed(batch_fill(), 1);
   }
 };
+
+/// The drain-report body: one "  key: <ledger>" line per model key. The
+/// single formatting point shared by serve::ExplanationServer::report()
+/// and the bench/demo drain output (they used to duplicate this loop).
+inline std::string format_stats_report(
+    const std::map<std::string, QueryStats>& by_key) {
+  std::string out;
+  for (const auto& [key, stats] : by_key) {
+    out += "  " + key + ": " + stats.to_string() + "\n";
+  }
+  return out;
+}
 
 }  // namespace comet::cost

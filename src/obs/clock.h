@@ -1,0 +1,74 @@
+// The observability clock seam: every latency measurement in the library
+// goes through obs::Clock, never through a raw std::chrono call (enforced
+// by scripts/comet_lint.py rule `raw-clock`).
+//
+// Two reasons this is a seam and not a convenience:
+//
+//   * Determinism. Served explanations are bit-identical to sequential
+//     runs; wall-clock readings therefore live strictly in the obs layer
+//     (timestamps, histograms, traces) and never feed the search. Funneling
+//     every clock read through one type makes that reviewable: a clock in a
+//     decision path would have to name obs::Clock to get there.
+//   * Testability. Timing assertions against a real clock are flaky by
+//     construction. ManualClock gives tests a clock they advance by hand,
+//     so "queue wait was 5ms" is a deterministic expectation, not a race
+//     against the scheduler.
+//
+// The default instance (obs::steady_clock()) wraps std::chrono::steady_clock
+// — monotonic, immune to NTP steps, the only correct base for latency
+// deltas. system_clock is banned outside this file: it jumps backwards.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace comet::obs {
+
+/// Monotonic time source, in nanoseconds since an arbitrary epoch. Only
+/// differences between readings are meaningful.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::uint64_t now_ns() const = 0;
+};
+
+/// The production clock: std::chrono::steady_clock, monotonic by contract.
+class SteadyClock final : public Clock {
+ public:
+  std::uint64_t now_ns() const override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Process-wide default instance (stateless, safe to share across threads).
+inline const Clock& steady_clock() {
+  static const SteadyClock clock;
+  return clock;
+}
+
+/// Test clock: starts at 0 and moves only when advanced. Thread-safe (the
+/// instrumented serving layer reads it from worker threads while the test
+/// thread advances it).
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::uint64_t start_ns = 0) : now_ns_(start_ns) {}
+
+  std::uint64_t now_ns() const override {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+  void advance_ns(std::uint64_t delta_ns) {
+    now_ns_.fetch_add(delta_ns, std::memory_order_relaxed);
+  }
+  void set_ns(std::uint64_t value_ns) {
+    now_ns_.store(value_ns, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_ns_;
+};
+
+}  // namespace comet::obs

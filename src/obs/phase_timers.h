@@ -1,0 +1,69 @@
+// Per-level phase timings of one anchor-engine run, surfaced on the
+// explanation when the caller opts in (AnchorSearchOptions::phase_clock).
+//
+// The engine's wall-clock is spent in three distinct phases per beam level
+// — candidate construction / beam bookkeeping, KL-LUCB arm pulls (where
+// the model queries live), and final-precision firm-up — plus the one-off
+// coverage-pool build. Knowing the split is what lets a deployment decide
+// whether to buy batching (pulls-bound), a cheaper perturber (beam-bound),
+// or a smaller verification budget (precision-bound).
+//
+// Determinism contract: the clock readings behind these numbers are taken
+// *between* search phases and never feed a search decision, so an
+// explanation computed with timing enabled is bit-identical (features,
+// precision, coverage, query ledger) to one computed without. Disabled
+// (the default, phase_clock == nullptr) the engine performs zero clock
+// reads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace comet::obs {
+
+struct PhaseTimings {
+  /// Wall-clock split of one beam level.
+  struct Level {
+    std::uint64_t beam_ns = 0;       ///< candidate build + beam selection
+    std::uint64_t pulls_ns = 0;      ///< KL-LUCB arm pulls (model queries)
+    std::uint64_t precision_ns = 0;  ///< anchor firm-up + acceptance
+  };
+
+  bool enabled = false;          ///< true iff a phase clock was supplied
+  std::uint64_t coverage_ns = 0; ///< shared coverage-pool construction
+  std::vector<Level> levels;     ///< one entry per beam level searched
+
+  std::uint64_t beam_ns() const {
+    std::uint64_t total = 0;
+    for (const auto& l : levels) total += l.beam_ns;
+    return total;
+  }
+  std::uint64_t pulls_ns() const {
+    std::uint64_t total = 0;
+    for (const auto& l : levels) total += l.pulls_ns;
+    return total;
+  }
+  std::uint64_t precision_ns() const {
+    std::uint64_t total = 0;
+    for (const auto& l : levels) total += l.precision_ns;
+    return total;
+  }
+  std::uint64_t total_ns() const {
+    return coverage_ns + beam_ns() + pulls_ns() + precision_ns();
+  }
+
+  /// "levels=2 coverage=1.2ms beam=0.3ms pulls=8.9ms precision=0.7ms".
+  std::string to_string() const {
+    const auto ms = [](std::uint64_t ns) {
+      const std::uint64_t tenths = ns / 100000;  // 0.1ms units
+      return std::to_string(tenths / 10) + "." + std::to_string(tenths % 10) +
+             "ms";
+    };
+    return "levels=" + std::to_string(levels.size()) +
+           " coverage=" + ms(coverage_ns) + " beam=" + ms(beam_ns()) +
+           " pulls=" + ms(pulls_ns()) + " precision=" + ms(precision_ns());
+  }
+};
+
+}  // namespace comet::obs

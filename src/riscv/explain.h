@@ -15,6 +15,7 @@
 
 #include "core/anchor_engine.h"
 #include "cost/query_stats.h"
+#include "obs/phase_timers.h"
 #include "riscv/cost.h"
 #include "riscv/perturb.h"
 
@@ -50,6 +51,8 @@ struct RvExplanation {
   std::size_t model_queries = 0;
   /// Broker-side query-traffic accounting (batches, memo hits).
   cost::QueryStats query_stats;
+  /// Opt-in engine phase timings (AnchorSearchOptions::phase_clock).
+  obs::PhaseTimings timings;
 };
 
 /// ISA-traits binding of the generic anchor engine to RISC-V.

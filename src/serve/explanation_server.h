@@ -24,6 +24,19 @@
 // options) — regardless of worker count or completion order. Tests assert
 // this.
 //
+// Observability: the server carries an obs::MetricsRegistry and traces
+// every request's lifecycle — admit (accepted into the queue) → start (a
+// worker dequeued it) → done (engine finished) → deliver (handed to the
+// consumer). Exported per model key: queue-wait and service-latency
+// histograms (p50/p95/p99); globally: live queue-depth and outstanding
+// gauges, submitted/completed counters, and the two backpressure counters
+// (submit had to block; try_submit was rejected). Scrape via
+// metrics_text() (Prometheus exposition) or metrics_json(). All clock
+// reads go through obs::Clock (ServeOptions::clock, steady by default) and
+// only ever land in metrics and trace fields — never in scheduling or the
+// search — so served explanations remain bit-identical to sequential runs
+// with metrics on, off, or mocked (tests/test_obs.cpp).
+//
 // The server is templated over the same ISA traits as the engine, so the
 // one scheduler serves both instantiations: x86 (CometExplainer::Traits)
 // and RISC-V (RvExplainer::Traits). See serve/isa_servers.h for the
@@ -44,6 +57,8 @@
 
 #include "core/anchor_engine.h"
 #include "cost/query_stats.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "util/sync.h"
 
 namespace comet::serve {
@@ -51,6 +66,28 @@ namespace comet::serve {
 struct ServeOptions {
   std::size_t workers = 2;         ///< concurrent explanation sessions
   std::size_t queue_capacity = 32; ///< admission-queue bound (backpressure)
+  /// Collect lifecycle metrics and request traces (counters/gauges update,
+  /// latency histograms fill, Served::trace is stamped). Off = zero clock
+  /// reads and untouched instruments; explanations are bit-identical
+  /// either way.
+  bool metrics = true;
+  /// Time source for metrics and traces; nullptr = obs::steady_clock().
+  /// Tests inject an obs::ManualClock for deterministic latency
+  /// assertions. Must outlive the server.
+  const obs::Clock* clock = nullptr;
+};
+
+/// Request-lifecycle timestamps (obs::Clock readings, ns). All zero when
+/// the server runs with metrics off.
+struct RequestTrace {
+  std::uint64_t admit_ns = 0;    ///< accepted into the admission queue
+  std::uint64_t start_ns = 0;    ///< dequeued by a worker; run begins
+  std::uint64_t done_ns = 0;     ///< explanation finished
+  std::uint64_t deliver_ns = 0;  ///< handed to the consumer (next/drain)
+
+  std::uint64_t queue_wait_ns() const { return start_ns - admit_ns; }
+  std::uint64_t run_ns() const { return done_ns - start_ns; }
+  std::uint64_t total_ns() const { return deliver_ns - admit_ns; }
 };
 
 template <typename Traits>
@@ -67,9 +104,13 @@ class ExplanationServer {
     std::uint64_t id = 0;     ///< submission ticket
     std::string model_key;    ///< which registered model served it
     Explanation explanation;  ///< bit-identical to the sequential path
+    RequestTrace trace;       ///< lifecycle timestamps (metrics on only)
   };
 
-  explicit ExplanationServer(ServeOptions options = {}) : options_(options) {
+  explicit ExplanationServer(ServeOptions options = {})
+      : options_(options),
+        clock_(options.clock != nullptr ? *options.clock
+                                        : obs::steady_clock()) {
     if (options_.workers == 0) options_.workers = 1;
     if (options_.queue_capacity == 0) options_.queue_capacity = 1;
     workers_.reserve(options_.workers);
@@ -107,6 +148,9 @@ class ExplanationServer {
                        Options options) COMET_EXCLUDES(mutex_) {
     util::MutexLock lock(mutex_);
     std::shared_ptr<const Model> model = lookup(model_key);
+    if (options_.metrics && queue_.size() >= options_.queue_capacity) {
+      submit_blocked_.increment();  // producer is about to feel backpressure
+    }
     while (queue_.size() >= options_.queue_capacity) cv_space_.wait(lock);
     return enqueue(model_key, std::move(model), std::move(block),
                    std::move(options));
@@ -117,7 +161,10 @@ class ExplanationServer {
                   std::uint64_t* id = nullptr) COMET_EXCLUDES(mutex_) {
     util::MutexLock lock(mutex_);
     std::shared_ptr<const Model> model = lookup(model_key);
-    if (queue_.size() >= options_.queue_capacity) return false;
+    if (queue_.size() >= options_.queue_capacity) {
+      if (options_.metrics) try_submit_rejected_.increment();
+      return false;
+    }
     const std::uint64_t ticket = enqueue(model_key, std::move(model),
                                          std::move(block), std::move(options));
     if (id != nullptr) *id = ticket;
@@ -128,23 +175,30 @@ class ExplanationServer {
   /// accepted jobs are outstanding; returns nullopt once every accepted
   /// job has been delivered.
   std::optional<Served> next() COMET_EXCLUDES(mutex_) {
-    util::MutexLock lock(mutex_);
-    while (completed_.empty() && outstanding_ != 0) cv_done_.wait(lock);
-    if (completed_.empty()) return std::nullopt;
-    Served served = std::move(completed_.front());
-    completed_.pop_front();
+    std::optional<Served> served;
+    {
+      util::MutexLock lock(mutex_);
+      while (completed_.empty() && outstanding_ != 0) cv_done_.wait(lock);
+      if (completed_.empty()) return std::nullopt;
+      served = std::move(completed_.front());
+      completed_.pop_front();
+    }
+    stamp_delivery(*served);
     return served;
   }
 
   /// Wait for every accepted job, then return all undelivered results in
   /// completion order.
   std::vector<Served> drain() COMET_EXCLUDES(mutex_) {
-    util::MutexLock lock(mutex_);
-    while (outstanding_ != 0) cv_done_.wait(lock);
     std::vector<Served> out;
-    out.reserve(completed_.size());
-    for (auto& served : completed_) out.push_back(std::move(served));
-    completed_.clear();
+    {
+      util::MutexLock lock(mutex_);
+      while (outstanding_ != 0) cv_done_.wait(lock);
+      out.reserve(completed_.size());
+      for (auto& served : completed_) out.push_back(std::move(served));
+      completed_.clear();
+    }
+    for (auto& served : out) stamp_delivery(served);
     return out;
   }
 
@@ -161,15 +215,27 @@ class ExplanationServer {
     return stats_;
   }
 
-  /// Drain report: one line per model key with its merged ledger.
+  /// Drain report: one line per model key with its merged ledger (shared
+  /// formatting with the benches — cost::format_stats_report).
   std::string report() const COMET_EXCLUDES(mutex_) {
     util::MutexLock lock(mutex_);
-    std::string out;
-    for (const auto& [key, stats] : stats_) {
-      out += "  " + key + ": " + stats.to_string() + "\n";
-    }
-    return out;
+    return cost::format_stats_report(stats_);
   }
+
+  /// The server's metrics registry: serve_submitted / serve_completed /
+  /// serve_submit_blocked / serve_try_submit_rejected counters, live
+  /// serve_queue_depth / serve_outstanding gauges, the
+  /// serve_deliver_wait_ns histogram, and per-model-key
+  /// serve_queue_wait_ns{model_key=...} / serve_run_ns{model_key=...}
+  /// latency histograms.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Prometheus-style text exposition of every instrument (scrape body).
+  std::string metrics_text() const { return metrics_.to_prometheus(); }
+
+  /// JSON snapshot: counters, gauges, histogram summaries with
+  /// p50/p95/p99.
+  std::string metrics_json() const { return metrics_.to_json(); }
 
  private:
   struct Request {
@@ -178,6 +244,7 @@ class ExplanationServer {
     std::shared_ptr<const Model> model;
     Block block;
     Options options;
+    std::uint64_t admit_ns = 0;  ///< obs::Clock stamp at admission
   };
 
   // Resolves the model at admission time so workers never touch the
@@ -204,10 +271,27 @@ class ExplanationServer {
     request.model = std::move(model);
     request.block = std::move(block);
     request.options = std::move(options);
+    if (options_.metrics) {
+      request.admit_ns = clock_.now_ns();
+      submitted_.increment();
+    }
     queue_.push_back(std::move(request));
     ++outstanding_;
+    if (options_.metrics) {
+      queue_depth_.set(static_cast<double>(queue_.size()));
+      outstanding_gauge_.set(static_cast<double>(outstanding_));
+    }
     cv_work_.notify_one();
     return ticket;
+  }
+
+  // Delivery stamp: the last lifecycle timestamp, taken as the result
+  // leaves next()/drain(). deliver - done is how long a finished result
+  // waited for its consumer.
+  void stamp_delivery(Served& served) {
+    if (!options_.metrics) return;
+    served.trace.deliver_ns = clock_.now_ns();
+    deliver_wait_ns_.record(served.trace.deliver_ns - served.trace.done_ns);
   }
 
   void worker_loop() COMET_EXCLUDES(mutex_) {
@@ -219,6 +303,9 @@ class ExplanationServer {
         if (queue_.empty()) return;  // stopping and fully drained
         request = std::move(queue_.front());
         queue_.pop_front();
+        if (options_.metrics) {
+          queue_depth_.set(static_cast<double>(queue_.size()));
+        }
         cv_space_.notify_one();
       }
       // The engine references the request's model and options for the
@@ -227,18 +314,51 @@ class ExplanationServer {
       Served served;
       served.id = request.id;
       served.model_key = std::move(request.model_key);
+      served.trace.admit_ns = request.admit_ns;
+      if (options_.metrics) served.trace.start_ns = clock_.now_ns();
       served.explanation = engine.explain(request.block);
+      if (options_.metrics) {
+        served.trace.done_ns = clock_.now_ns();
+        completed_count_.increment();
+        // Per-model-key latency histograms; resolved by name per completion
+        // (an engine run dwarfs one map lookup).
+        metrics_
+            .histogram(obs::MetricsRegistry::labeled(
+                "serve_queue_wait_ns", "model_key", served.model_key))
+            .record(served.trace.queue_wait_ns());
+        metrics_
+            .histogram(obs::MetricsRegistry::labeled(
+                "serve_run_ns", "model_key", served.model_key))
+            .record(served.trace.run_ns());
+      }
       {
         util::MutexLock lock(mutex_);
         stats_[served.model_key] += served.explanation.query_stats;
         completed_.push_back(std::move(served));
         --outstanding_;
+        if (options_.metrics) {
+          outstanding_gauge_.set(static_cast<double>(outstanding_));
+        }
       }
       cv_done_.notify_all();
     }
   }
 
-  ServeOptions options_;  // immutable after construction
+  ServeOptions options_;     // immutable after construction
+  const obs::Clock& clock_;  // stateless or internally synchronized
+  // Instruments are internally synchronized (one util::Mutex each) and the
+  // registry map is lock-protected, so none of this needs mutex_. The
+  // handles below are resolved once; hot paths increment through them.
+  obs::MetricsRegistry metrics_;
+  obs::Counter& submitted_ = metrics_.counter("serve_submitted");
+  obs::Counter& completed_count_ = metrics_.counter("serve_completed");
+  obs::Counter& submit_blocked_ = metrics_.counter("serve_submit_blocked");
+  obs::Counter& try_submit_rejected_ =
+      metrics_.counter("serve_try_submit_rejected");
+  obs::Gauge& queue_depth_ = metrics_.gauge("serve_queue_depth");
+  obs::Gauge& outstanding_gauge_ = metrics_.gauge("serve_outstanding");
+  obs::Histogram& deliver_wait_ns_ =
+      metrics_.histogram("serve_deliver_wait_ns");
   mutable util::Mutex mutex_;
   util::CondVar cv_work_;   // queue gained work / stopping
   util::CondVar cv_space_;  // queue gained space

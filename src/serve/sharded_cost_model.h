@@ -45,6 +45,10 @@ class ShardedCostModel final : public cost::CostModel {
   }
   std::size_t shard_count() const { return pool_.shard_count(); }
 
+  /// Per-shard batch-size histograms and memo hit-rate gauges (see
+  /// ShardedBrokerPool::metrics).
+  const obs::MetricsRegistry& metrics() const { return pool_.metrics(); }
+
  private:
   ShardedBrokerPool<x86::BasicBlock, cost::CostModel> pool_;
 };

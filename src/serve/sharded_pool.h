@@ -19,6 +19,13 @@
 //
 // Per-shard QueryStats are exposed raw (load-balance accounting: how even
 // is the hash spread?) and merged via QueryStats::operator+=.
+//
+// Observability: the pool owns an obs::MetricsRegistry with, per shard, a
+// sub-batch-size histogram (shard_batch_size{shard="N"} — how the hash
+// spread actually partitions traffic) and a memo hit-rate gauge
+// (shard_hit_rate{shard="N"}). Both are recorded on the shard's own
+// thread, serialized with its broker, so they cost the caller nothing and
+// race with nothing.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +37,7 @@
 #include <vector>
 
 #include "cost/query_broker.h"
+#include "obs/metrics.h"
 #include "serve/thread_pool.h"
 #include "util/rng.h"
 #include "util/sync.h"
@@ -51,6 +59,11 @@ class ShardedBrokerPool {
     shards_.reserve(shards);
     for (std::size_t s = 0; s < shards; ++s) {
       shards_.push_back(std::make_unique<Shard>(factory(s), memoize));
+      const std::string label = std::to_string(s);
+      shards_.back()->batch_size_hist = &metrics_.histogram(
+          obs::MetricsRegistry::labeled("shard_batch_size", "shard", label));
+      shards_.back()->hit_rate_gauge = &metrics_.gauge(
+          obs::MetricsRegistry::labeled("shard_hit_rate", "shard", label));
     }
   }
 
@@ -86,6 +99,11 @@ class ShardedBrokerPool {
         std::vector<double> sub_out(sub.size());
         shard->broker.predict_batch(std::span<const Block>(sub),
                                     std::span<double>(sub_out));
+        // Shard-thread-side observability: the sub-batch width this shard
+        // actually received, and its running memo hit rate (reads the
+        // broker ledger on the only thread allowed to touch it).
+        shard->batch_size_hist->record(sub.size());
+        shard->hit_rate_gauge->set(shard->broker.stats().hit_rate());
         for (std::size_t j = 0; j < idx.size(); ++j) out[idx[j]] = sub_out[j];
         join.done_one();
       });
@@ -139,6 +157,13 @@ class ShardedBrokerPool {
   /// model is const-thread-safe).
   const Model& shard_model(std::size_t s) const { return *shards_[s]->model; }
 
+  /// Per-shard instrumentation: shard_batch_size{shard="N"} histograms and
+  /// shard_hit_rate{shard="N"} gauges, exportable via to_prometheus() /
+  /// to_json(). Snapshots may trail in-flight sub-batches by one update
+  /// (recordings happen on the shard threads); call after predict_batch
+  /// returns for exact counts.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   /// Countdown latch (mutex/cv formulation; <latch> kept out of the
   /// dependency surface). `pending` is set before any shard task can run
@@ -165,6 +190,11 @@ class ShardedBrokerPool {
   struct Shard {
     std::shared_ptr<const Model> model;  // declared before broker: broker
     cost::QueryBroker<Block, Model> broker;  // holds a pointer into it
+    // Registry-owned instruments, touched only from this shard's thread
+    // (the instruments are internally synchronized anyway; confinement
+    // just makes the hit-rate read of the broker ledger legal).
+    obs::Histogram* batch_size_hist = nullptr;
+    obs::Gauge* hit_rate_gauge = nullptr;
     // One single-thread FIFO pool per shard: serializes all broker/model
     // access onto the shard's thread, and drains before broker/model die.
     ThreadPool pool{1};
@@ -175,6 +205,10 @@ class ShardedBrokerPool {
     void post(std::function<void()> task) { pool.post(std::move(task)); }
   };
 
+  // Declared before shards_: the shards hold pointers into the registry and
+  // drain their queued work (which records through those pointers) before
+  // the registry is destroyed.
+  obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

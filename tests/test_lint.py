@@ -85,6 +85,16 @@ class RuleFiresAndSuppresses(unittest.TestCase):
         self.check("src/util/helpers.cpp", "using namespace std;",
                    "using-namespace")
 
+    def test_raw_clock(self):
+        self.check("src/serve/foo.cpp",
+                   "auto t = std::chrono::system_clock::now();", "raw-clock")
+        self.check("src/serve/foo.cpp",
+                   "using C = std::chrono::high_resolution_clock;",
+                   "raw-clock")
+        self.check("src/serve/foo.h",
+                   "#pragma once\nauto t = system_clock::now();",
+                   "raw-clock", line=2)
+
 
 class RuleScoping(unittest.TestCase):
     """Rules only apply where the invariant lives."""
@@ -109,6 +119,21 @@ class RuleScoping(unittest.TestCase):
         self.assertEqual(
             [], rules_hit("tests/test_foo.cpp",
                           'std::mutex mu; std::cout << "ok";'))
+        self.assertEqual(
+            [], rules_hit("bench/bench_foo.cpp",
+                          "auto t = std::chrono::system_clock::now();"))
+
+    def test_obs_clock_seam_is_exempt_from_raw_clock(self):
+        # The seam itself wraps the real clock; steady_clock is fine
+        # anywhere, and clock.h may name the others in its implementation.
+        self.assertEqual(
+            [], rules_hit("src/obs/clock.h",
+                          "#pragma once\nauto t = "
+                          "std::chrono::high_resolution_clock::now();"))
+        self.assertEqual(
+            [], rules_hit("src/serve/foo.h",
+                          "#pragma once\nauto t = "
+                          "std::chrono::steady_clock::now();"))
 
 
 class ScrubberNegatives(unittest.TestCase):
@@ -220,7 +245,8 @@ class CommandLine(unittest.TestCase):
             capture_output=True, text=True)
         self.assertEqual(0, result.returncode)
         for rule in ("libm-in-nn", "raw-sync", "unchecked-io", "raw-random",
-                     "stdout-in-library", "include-guard", "using-namespace"):
+                     "stdout-in-library", "include-guard", "using-namespace",
+                     "raw-clock"):
             self.assertIn(rule, result.stdout)
 
 

@@ -495,6 +495,17 @@ TEST(ExplanationServer, BoundedQueueExertsBackpressure) {
   EXPECT_TRUE(server.try_submit("gate", block, options, &ticket));
   EXPECT_GT(ticket, 0u);
   EXPECT_EQ(server.drain().size(), 1u);
+
+  // The flow-control events above are on the metrics surface: exactly one
+  // try_submit refusal (the unknown-key throw is not a queue rejection),
+  // no blocking submit ever waited, and the lifecycle counters balance.
+  const auto snap = server.metrics().snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "serve_try_submit_rejected") EXPECT_EQ(1u, value);
+    if (name == "serve_submit_blocked") EXPECT_EQ(0u, value);
+    if (name == "serve_submitted") EXPECT_EQ(4u, value);
+    if (name == "serve_completed") EXPECT_EQ(4u, value);
+  }
 }
 
 // ---------------- the shared RISC-V served path ----------------
