@@ -1,0 +1,5 @@
+add a0, a1, a2
+addi t0, t1, -4
+lui  a0, 4096
+ld   a0, 8(sp)
+sd   a1, 0(a0)

@@ -1,0 +1,3 @@
+lw x1, (x2)
+sb x3, -2048(x31)
+lbu t0, 0x10(gp)

@@ -1,0 +1,5 @@
+mul s0, s1, s2  # comment
+divu t3, t4, t5
+remw a3, a4, a5 ; other comment
+sltiu x5, x6, 2047
+srai  x7, x8, 63

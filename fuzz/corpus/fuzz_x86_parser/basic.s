@@ -1,0 +1,4 @@
+add rcx, rax
+mov rdx, rcx
+pop rbx
+inc rsi

@@ -1,0 +1,5 @@
+1: add rcx, rax  ; comment
+2: vdivss xmm0, xmm0, xmm6 # trailing
+3: cmp rcx, 0x7f
+
+4: jle -12

@@ -1,0 +1,5 @@
+mov rdx, qword ptr [rdi + 24]
+mov qword ptr [rsp - 8], rax
+lea rax, [rcx + rax*4 - 1]
+movss xmm0, dword ptr [rax + rbx*8 + 16]
+add dword ptr [rbp + 0x40], eax

@@ -1,0 +1,4 @@
+vmulps ymm1, ymm2, ymm3
+vfmadd231ss xmm0, xmm1, xmm2
+vmovaps ymmword ptr [rdi], ymm1
+ucomisd xmm3, qword ptr [rsi + 8]

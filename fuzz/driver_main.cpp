@@ -1,0 +1,221 @@
+// Fallback fuzzing driver for toolchains without libFuzzer (GCC).
+//
+// Speaks enough of the libFuzzer CLI that scripts/check.sh can invoke
+// every harness the same way under either engine:
+//
+//   driver [-max_total_time=SECS] [-max_len=N] [-runs=N] [-seed=N]
+//          [other -flags ignored] dir-or-file...
+//
+// Phase 1 replays every corpus input (regression gate). Phase 2 runs a
+// deterministic random-mutation loop over the corpus (byte flips, splices,
+// truncations, duplications) until the time or run budget expires. The
+// input about to execute is persisted to <first-dir>/.cur_input before
+// every call, so after a crash the offending bytes are on disk for triage
+// and minimization.
+//
+// This file is compiled into the harness only when the real
+// -fsanitize=fuzzer engine is unavailable; it deliberately has no
+// dependency on the comet library.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+// Self-contained splitmix64: the driver must not depend on the library it
+// is fuzzing, and the sequence must be deterministic run to run.
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::size_t below(std::size_t n) {
+    return n == 0 ? 0 : static_cast<std::size_t>(next() % n);
+  }
+};
+
+using Bytes = std::vector<std::uint8_t>;
+
+Bytes read_file(const std::filesystem::path& p) {
+  Bytes out;
+  std::FILE* fp = std::fopen(p.string().c_str(), "rb");
+  if (fp == nullptr) return out;
+  std::uint8_t buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), fp)) > 0) {
+    out.insert(out.end(), buf, buf + got);
+  }
+  std::fclose(fp);
+  return out;
+}
+
+void mutate(Bytes& input, SplitMix64& rng, std::size_t max_len) {
+  const std::size_t n_mutations = 1 + rng.below(4);
+  for (std::size_t m = 0; m < n_mutations; ++m) {
+    switch (rng.below(6)) {
+      case 0:  // flip a random bit
+        if (!input.empty()) {
+          input[rng.below(input.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+        break;
+      case 1:  // overwrite a byte with a random value
+        if (!input.empty()) {
+          input[rng.below(input.size())] =
+              static_cast<std::uint8_t>(rng.next());
+        }
+        break;
+      case 2: {  // insert an interesting byte
+        static constexpr std::uint8_t kInteresting[] = {
+            0x00, 0xff, 0x7f, 0x80, '\n', '\t', ',', ';', '[', ']',
+            '(',  ')',  '*',  '-',  '+',  '0',  'x', ' ', '#', ':'};
+        const std::uint8_t b =
+            kInteresting[rng.below(sizeof(kInteresting))];
+        input.insert(input.begin() + rng.below(input.size() + 1), b);
+        break;
+      }
+      case 3:  // delete a run of bytes
+        if (!input.empty()) {
+          const std::size_t at = rng.below(input.size());
+          const std::size_t len = 1 + rng.below(input.size() - at);
+          input.erase(input.begin() + at, input.begin() + at + len);
+        }
+        break;
+      case 4:  // duplicate a slice (size-field confusion, repeated records)
+        if (!input.empty()) {
+          const std::size_t at = rng.below(input.size());
+          const std::size_t len =
+              1 + rng.below(std::min<std::size_t>(input.size() - at, 64));
+          Bytes slice(input.begin() + at, input.begin() + at + len);
+          input.insert(input.begin() + rng.below(input.size() + 1),
+                       slice.begin(), slice.end());
+        }
+        break;
+      case 5:  // truncate
+        if (!input.empty()) input.resize(rng.below(input.size()));
+        break;
+    }
+  }
+  if (input.size() > max_len) input.resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long max_total_time = 30;
+  std::size_t max_len = 65536;
+  long max_runs = -1;
+  std::uint64_t seed = 0xC03E7F00DULL;
+  std::vector<std::filesystem::path> inputs;
+  std::filesystem::path artifact_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_total_time = std::atol(arg.c_str() + 16);
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = static_cast<std::size_t>(std::atol(arg.c_str() + 9));
+    } else if (arg.rfind("-runs=", 0) == 0) {
+      max_runs = std::atol(arg.c_str() + 6);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 6));
+    } else if (!arg.empty() && arg.front() == '-') {
+      // Unknown libFuzzer flag: accepted and ignored so check.sh can use
+      // one command line for both engines.
+    } else {
+      inputs.emplace_back(arg);
+      if (artifact_dir.empty() && std::filesystem::is_directory(arg)) {
+        artifact_dir = arg;
+      }
+    }
+  }
+
+  // Gather the corpus.
+  std::vector<Bytes> corpus;
+  for (const auto& in : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(in, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(in, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().filename().string().front() != '.') {
+          files.push_back(entry.path());
+        }
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& f : files) corpus.push_back(read_file(f));
+    } else if (std::filesystem::is_regular_file(in, ec)) {
+      corpus.push_back(read_file(in));
+    }
+  }
+
+  const std::filesystem::path cur_input =
+      (artifact_dir.empty() ? std::filesystem::temp_directory_path()
+                            : artifact_dir) /
+      ".cur_input";
+  const auto run_one = [&](const Bytes& bytes) {
+    std::FILE* fp = std::fopen(cur_input.string().c_str(), "wb");
+    if (fp != nullptr) {
+      if (!bytes.empty() &&
+          std::fwrite(bytes.data(), 1, bytes.size(), fp) != bytes.size()) {
+        std::fprintf(stderr, "driver: short write to %s\n",
+                     cur_input.string().c_str());
+      }
+      std::fclose(fp);
+    }
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  };
+
+  // Phase 1: replay the full corpus (regression gate).
+  for (const Bytes& bytes : corpus) run_one(bytes);
+  std::fprintf(stderr, "driver: replayed %zu corpus inputs\n", corpus.size());
+
+  // Phase 2: deterministic mutation loop until the budget expires.
+  SplitMix64 rng{seed};
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::seconds(max_total_time);
+  long runs = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (max_runs >= 0 && runs >= max_runs) break;
+    Bytes input;
+    if (!corpus.empty() && rng.below(8) != 0) {
+      input = corpus[rng.below(corpus.size())];
+      if (rng.below(4) == 0 && corpus.size() > 1) {
+        // Splice: prefix of one seed + suffix of another.
+        const Bytes& other = corpus[rng.below(corpus.size())];
+        if (!input.empty() && !other.empty()) {
+          input.resize(rng.below(input.size()) + 1);
+          const std::size_t at = rng.below(other.size());
+          input.insert(input.end(), other.begin() + at, other.end());
+        }
+      }
+    } else {
+      input.resize(rng.below(256));
+      for (auto& b : input) b = static_cast<std::uint8_t>(rng.next());
+    }
+    mutate(input, rng, max_len);
+    run_one(input);
+    ++runs;
+  }
+  const auto secs = std::chrono::duration_cast<std::chrono::seconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  std::fprintf(stderr,
+               "driver: done, %ld mutated runs in %llds (no crashes)\n",
+               runs, static_cast<long long>(secs));
+  std::error_code ec;
+  std::filesystem::remove(cur_input, ec);
+  return 0;
+}

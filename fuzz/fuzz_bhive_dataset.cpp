@@ -1,0 +1,37 @@
+// Fuzz harness: bhive::parse_dataset_text over arbitrary bytes.
+//
+// Contract under test: any byte string either parses into a labeled
+// dataset or throws util::ContractViolation (structural problems: header,
+// labels, field counts) / x86::ParseError (malformed instructions).
+// Oracle: a successfully parsed dataset must survive a
+// to_text -> parse_dataset_text round trip with the same size and labels.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bhive/dataset.h"
+#include "util/contract.h"
+#include "x86/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const comet::bhive::Dataset ds = comet::bhive::parse_dataset_text(text);
+    const comet::bhive::Dataset again =
+        comet::bhive::parse_dataset_text(comet::bhive::to_text(ds));
+    if (again.size() != ds.size()) __builtin_trap();
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      if (again[i].measured_hsw != ds[i].measured_hsw ||
+          again[i].measured_skl != ds[i].measured_skl ||
+          again[i].block.size() != ds[i].block.size()) {
+        __builtin_trap();  // round trip lost data
+      }
+    }
+  } catch (const comet::util::ContractViolation&) {
+    // expected: structural violation
+  } catch (const comet::x86::ParseError&) {
+    // expected: malformed instruction text
+  }
+  return 0;
+}

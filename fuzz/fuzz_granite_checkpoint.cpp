@@ -1,0 +1,56 @@
+// Fuzz harness: GraniteModel::load over arbitrary checkpoint bytes.
+//
+// Same contract as fuzz_ithemal_checkpoint (cost/checkpoint.h threat
+// model): false on foreign bytes, util::ContractViolation on structural
+// corruption, finite predictions on success — never abort/OOM/UB.
+#include <cmath>
+#include <cstdint>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "cost/granite_model.h"
+#include "util/contract.h"
+#include "x86/parser.h"
+
+namespace {
+
+comet::cost::GraniteConfig fuzz_config() {
+  comet::cost::GraniteConfig cfg;
+  cfg.embed_dim = 4;
+  cfg.hidden_dim = 4;
+  cfg.num_layers = 2;
+  return cfg;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static comet::cost::GraniteModel* model = new comet::cost::GraniteModel(
+      comet::cost::MicroArch::Haswell, fuzz_config());
+  static const comet::x86::BasicBlock probe =
+      comet::x86::parse_block("add rcx, rax\nmov rdx, rcx");
+  static const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("comet_fuzz_granite_ckpt_" + std::to_string(::getpid()) + ".bin");
+
+  std::FILE* fp = std::fopen(path.string().c_str(), "wb");
+  if (fp == nullptr) return 0;
+  if (size != 0 && std::fwrite(data, 1, size, fp) != size) {
+    std::fclose(fp);
+    return 0;
+  }
+  std::fclose(fp);
+
+  try {
+    if (model->load(path)) {
+      if (!std::isfinite(model->predict(probe))) __builtin_trap();
+    }
+  } catch (const comet::util::ContractViolation&) {
+    // expected: structurally corrupt bytes behind a valid magic
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fuzz harness: IthemalModel::load over arbitrary checkpoint bytes.
+//
+// Contract under test (cost/checkpoint.h threat model): feeding any byte
+// string to load() either returns false (missing/foreign magic), throws
+// util::ContractViolation (truncated / oversized / dimension-forged /
+// non-finite payload), or succeeds — and on success the model must produce
+// finite predictions. It must never abort, leak, over-allocate from a
+// forged size field, or leave the live weights half-overwritten.
+#include <cmath>
+#include <cstdint>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "cost/ithemal_model.h"
+#include "util/contract.h"
+#include "x86/parser.h"
+
+namespace {
+
+comet::cost::IthemalConfig fuzz_config() {
+  comet::cost::IthemalConfig cfg;
+  cfg.embed_dim = 4;
+  cfg.hidden_dim = 6;
+  return cfg;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static comet::cost::IthemalModel* model = new comet::cost::IthemalModel(
+      comet::cost::MicroArch::Haswell, fuzz_config());
+  static const comet::x86::BasicBlock probe =
+      comet::x86::parse_block("add rcx, rax\nmov rdx, rcx");
+  static const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("comet_fuzz_ithemal_ckpt_" + std::to_string(::getpid()) + ".bin");
+
+  std::FILE* fp = std::fopen(path.string().c_str(), "wb");
+  if (fp == nullptr) return 0;
+  if (size != 0 && std::fwrite(data, 1, size, fp) != size) {
+    std::fclose(fp);
+    return 0;
+  }
+  std::fclose(fp);
+
+  try {
+    if (model->load(path)) {
+      // The finite-weight gate guarantees loaded weights cannot produce a
+      // NaN on this probe block.
+      if (!std::isfinite(model->predict(probe))) __builtin_trap();
+    }
+  } catch (const comet::util::ContractViolation&) {
+    // expected: structurally corrupt bytes behind a valid magic
+  }
+  return 0;
+}

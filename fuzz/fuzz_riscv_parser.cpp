@@ -1,0 +1,35 @@
+// Fuzz harness: riscv::parse_block over arbitrary bytes.
+//
+// Contract under test: any byte string either parses into a valid RV64IM
+// block or throws riscv::ParseError / util::ContractViolation. Oracle: a
+// successfully parsed block must re-parse from its own printed form with
+// the same instruction count.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "riscv/isa.h"
+#include "riscv/parser.h"
+#include "util/contract.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const comet::riscv::BasicBlock block = comet::riscv::parse_block(text);
+    std::string printed;
+    for (const auto& inst : block.instructions) {
+      printed += inst.to_string();
+      printed += '\n';
+    }
+    const comet::riscv::BasicBlock again = comet::riscv::parse_block(printed);
+    if (again.size() != block.size()) {
+      __builtin_trap();  // printer emitted something the parser rejects
+    }
+  } catch (const comet::riscv::ParseError&) {
+    // expected rejection of malformed input
+  } catch (const comet::util::ContractViolation&) {
+    // expected rejection at a contract boundary
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fuzz harness: x86::parse_block over arbitrary bytes.
+//
+// Contract under test: any byte string either parses into a catalog-valid
+// block or throws x86::ParseError / util::ContractViolation. Anything else
+// — a crash, a sanitizer finding, an unexpected exception type — is a bug.
+// Oracle: a successfully parsed block must re-parse from its own printed
+// form with the same instruction count (parser/printer round trip).
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/contract.h"
+#include "x86/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const comet::x86::BasicBlock block = comet::x86::parse_block(text);
+    std::string printed;
+    for (const auto& inst : block.instructions) {
+      printed += inst.to_string();
+      printed += '\n';
+    }
+    const comet::x86::BasicBlock again = comet::x86::parse_block(printed);
+    if (again.size() != block.size()) {
+      __builtin_trap();  // printer emitted something the parser rejects
+    }
+  } catch (const comet::x86::ParseError&) {
+    // expected rejection of malformed input
+  } catch (const comet::util::ContractViolation&) {
+    // expected rejection at a contract boundary
+  }
+  return 0;
+}

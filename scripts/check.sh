@@ -16,6 +16,11 @@
 #   scripts/check.sh --tidy           # clang-tidy (.clang-tidy config) over
 #                                     # src/ (./build-tidy; needs clang-tidy)
 #   scripts/check.sh --lint           # just the comet-lint rules (no build)
+#   scripts/check.sh --fuzz           # bounded fuzz smoke over every
+#                                     # untrusted-input surface (./build-fuzz;
+#                                     # COMET_FUZZ_SECS=N per-harness budget)
+#   scripts/check.sh --coverage       # line-coverage build + report with a
+#                                     # ratcheted floor (./build-cov)
 #   COMET_CHECK_WERROR=1 scripts/check.sh   # promote warnings to errors
 set -euo pipefail
 
@@ -27,6 +32,8 @@ ASAN_DIR=${COMET_ASAN_BUILD_DIR:-build-asan}
 UBSAN_DIR=${COMET_UBSAN_BUILD_DIR:-build-ubsan}
 TS_DIR=${COMET_TS_BUILD_DIR:-build-ts}
 TIDY_DIR=${COMET_TIDY_BUILD_DIR:-build-tidy}
+FUZZ_DIR=${COMET_FUZZ_BUILD_DIR:-build-fuzz}
+COV_DIR=${COMET_COV_BUILD_DIR:-build-cov}
 MODE=plain
 CLEAN=0
 for arg in "$@"; do
@@ -38,6 +45,8 @@ for arg in "$@"; do
     --thread-safety) MODE=thread-safety ;;
     --tidy)  MODE=tidy ;;
     --lint)  MODE=lint ;;
+    --fuzz)  MODE=fuzz ;;
+    --coverage) MODE=coverage ;;
     *) echo "check.sh: unknown flag '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -139,6 +148,53 @@ case "$MODE" in
       | xargs -0 -P "$JOBS" -n 4 "$TIDY" -p "$TIDY_DIR" --quiet \
         --warnings-as-errors='*'
     echo "check.sh: tidy pass green"
+    ;;
+
+  fuzz)
+    # Bounded fuzz smoke over every untrusted-input surface: each harness
+    # runs its committed corpus plus COMET_FUZZ_SECS (default 30) seconds of
+    # mutation under ASan+UBSan with contracts armed. Any crash, leak, OOM,
+    # or contract escape fails the gate. Under clang this is real libFuzzer;
+    # under GCC the bundled replay+mutation driver speaks the same CLI.
+    [[ "$CLEAN" == "1" ]] && rm -rf "$FUZZ_DIR"
+    cmake -B "$FUZZ_DIR" -S . -DCOMET_FUZZ=ON "${CMAKE_ARGS[@]}"
+    cmake --build "$FUZZ_DIR" -j "$JOBS"
+    FUZZ_SECS=${COMET_FUZZ_SECS:-30}
+    for target in fuzz_x86_parser fuzz_riscv_parser fuzz_ithemal_checkpoint \
+                  fuzz_granite_checkpoint fuzz_bhive_dataset; do
+      bin="$FUZZ_DIR/$target"
+      corpus="fuzz/corpus/$target"
+      if [[ ! -x "$bin" ]]; then
+        echo "check.sh: fuzz harness '$target' did not build" >&2
+        exit 1
+      fi
+      if [[ ! -d "$corpus" ]]; then
+        echo "check.sh: seed corpus '$corpus' missing" >&2
+        exit 1
+      fi
+      workdir=$(mktemp -d)
+      echo "== fuzz: $target (${FUZZ_SECS}s) =="
+      "$bin" -max_total_time="$FUZZ_SECS" -max_len=4096 -rss_limit_mb=2048 \
+        -timeout=10 "$workdir" "$corpus"
+      rm -rf "$workdir"
+    done
+    echo "check.sh: fuzz smoke green"
+    ;;
+
+  coverage)
+    # Line-coverage pass: instrumented build, full ctest suite, then a
+    # per-directory report over src/ with a ratcheted floor. GCC uses
+    # --coverage/gcov; clang uses source-based profiles (merged via
+    # llvm-profdata by the report script).
+    [[ "$CLEAN" == "1" ]] && rm -rf "$COV_DIR"
+    cmake -B "$COV_DIR" -S . -DCOMET_COVERAGE=ON "${CMAKE_ARGS[@]}"
+    cmake --build "$COV_DIR" -j "$JOBS"
+    mkdir -p "$COV_DIR/profraw"
+    LLVM_PROFILE_FILE="$PWD/$COV_DIR/profraw/%p.profraw" \
+      ctest --test-dir "$COV_DIR" --output-on-failure -j "$JOBS"
+    python3 scripts/coverage_report.py --build-dir "$COV_DIR" \
+      --floor-file scripts/coverage_floor.txt
+    echo "check.sh: coverage pass green"
     ;;
 
   plain)

@@ -36,6 +36,12 @@ check:
                     clocks jump with NTP/suspend, and a mockable monotonic
                     seam is what keeps served results bit-identical with
                     metrics on (PR 7 determinism contract).
+  raw-assert        No assert()/abort() in src/ library code. Invariants go
+                    through COMET_CHECK / COMET_DCHECK (util/contract.h),
+                    which throw a typed util::ContractViolation: a malformed
+                    request or corrupt cache file must be a catchable,
+                    fuzz-observable report, never a process kill
+                    (static_assert stays fine - it costs nothing at runtime).
 
 Suppression: a finding is silenced by a comment on the same line or the
 line directly above it:
@@ -198,6 +204,10 @@ _RAW_CLOCK_RE = re.compile(
     r"\b(?:std::chrono::)?(?:system_clock|high_resolution_clock)\b"
 )
 
+# Call position only; the negative lookbehind keeps static_assert (and any
+# *_assert identifier) out of scope.
+_RAW_ASSERT_RE = re.compile(r"(?<![\w:])(?:std::)?(?:assert|abort)\s*\(")
+
 # Scrubbed line endings that mean "the next line continues this statement",
 # so a leading fread/fwrite there is not statement position.
 _CONTINUATION_END_RE = re.compile(r"[(&|+\-*/=,<>?:!%]\s*$")
@@ -346,6 +356,19 @@ RULES = [
             _RAW_CLOCK_RE,
             "non-monotonic/unmockable clock - use obs::Clock (steady, "
             "injectable; see src/obs/clock.h)",
+        ),
+    ),
+    Rule(
+        "raw-assert",
+        "no assert()/abort() in src/ library code - invariants throw typed "
+        "util::ContractViolation via COMET_CHECK/COMET_DCHECK "
+        "(util/contract.h) so bad input is recoverable and fuzz-observable",
+        _in_dir("src/"),
+        _grep_rule(
+            _RAW_ASSERT_RE,
+            "raw assert()/abort() - use COMET_CHECK/COMET_DCHECK "
+            "(util/contract.h): a broken invariant must throw "
+            "ContractViolation, not kill the process",
         ),
     ),
 ]

@@ -1,0 +1,279 @@
+#!/usr/bin/env python3
+"""Aggregate line coverage over src/ and enforce the ratcheted floor.
+
+Invoked by `scripts/check.sh --coverage` after the instrumented test suite
+has run. Two profile backends, picked automatically:
+
+  gcov      (GCC --coverage builds): every .gcda under the build tree is fed
+            to `gcov --json-format --stdout`; per-line execution counts are
+            merged across translation units with max() so inline header code
+            is credited no matter which TU exercised it.
+  llvm-cov  (clang -fprofile-instr-generate builds): .profraw files in
+            <build>/profraw are merged with llvm-profdata and exported per
+            test binary with `llvm-cov export`.
+
+Output: a per-directory table for src/ plus a TOTAL row. The TOTAL line
+percentage is compared against scripts/coverage_floor.txt (the committed
+ratchet); dropping below any floor entry fails the gate with exit 1. The
+floor file may also pin individual directories:
+
+    # scripts/coverage_floor.txt
+    total    78.0
+    src/x86  85.0
+
+Raise the floor when coverage rises - the gate only ever ratchets up.
+
+Usage:
+    scripts/coverage_report.py --build-dir build-cov \\
+        --floor-file scripts/coverage_floor.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+# --------------------------------------------------------------------------
+# gcov backend
+
+
+def find_gcda(build_dir: str) -> list[str]:
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(os.path.abspath(build_dir)):
+        for name in sorted(filenames):
+            if name.endswith(".gcda"):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def parse_json_stream(text: str) -> list[dict]:
+    """gcov --stdout emits one JSON document per input file, concatenated."""
+    docs = []
+    decoder = json.JSONDecoder()
+    pos = 0
+    while pos < len(text):
+        while pos < len(text) and text[pos].isspace():
+            pos += 1
+        if pos >= len(text):
+            break
+        doc, end = decoder.raw_decode(text, pos)
+        docs.append(doc)
+        pos = end
+    return docs
+
+
+def gcov_line_counts(build_dir: str, gcov_tool: str) -> dict[str, dict[int, int]]:
+    """Map src-relative path -> {line_number: max execution count}."""
+    root = repo_root()
+    counts: dict[str, dict[int, int]] = {}
+    gcda = find_gcda(build_dir)
+    if not gcda:
+        return counts
+    batch = 64
+    for i in range(0, len(gcda), batch):
+        proc = subprocess.run(
+            [gcov_tool, "--json-format", "--stdout"] + gcda[i : i + batch],
+            capture_output=True,
+            text=True,
+            cwd=build_dir,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise RuntimeError(f"{gcov_tool} failed (exit {proc.returncode})")
+        for doc in parse_json_stream(proc.stdout):
+            cwd = doc.get("current_working_directory", build_dir)
+            for entry in doc.get("files", []):
+                path = entry.get("file", "")
+                if not os.path.isabs(path):
+                    path = os.path.normpath(os.path.join(cwd, path))
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                if not rel.startswith("src/"):
+                    continue
+                per_file = counts.setdefault(rel, {})
+                for line in entry.get("lines", []):
+                    num = line.get("line_number", 0)
+                    cnt = line.get("count", 0)
+                    if cnt > per_file.get(num, -1):
+                        per_file[num] = cnt
+    return counts
+
+
+# --------------------------------------------------------------------------
+# llvm-cov backend (clang builds)
+
+
+def find_test_binaries(build_dir: str) -> list[str]:
+    out = []
+    for name in sorted(os.listdir(build_dir)):
+        path = os.path.join(build_dir, name)
+        if (
+            os.path.isfile(path)
+            and os.access(path, os.X_OK)
+            and (name.startswith("test_") or name.startswith("fuzz_"))
+        ):
+            out.append(path)
+    return out
+
+
+def llvm_line_counts(build_dir: str) -> dict[str, dict[int, int]]:
+    root = repo_root()
+    profraw_dir = os.path.join(build_dir, "profraw")
+    profraws = [
+        os.path.join(profraw_dir, f)
+        for f in sorted(os.listdir(profraw_dir))
+        if f.endswith(".profraw")
+    ]
+    binaries = find_test_binaries(build_dir)
+    if not profraws or not binaries:
+        return {}
+    profdata = os.path.join(build_dir, "coverage.profdata")
+    subprocess.run(
+        ["llvm-profdata", "merge", "-sparse", "-o", profdata] + profraws,
+        check=True,
+    )
+    cmd = ["llvm-cov", "export", binaries[0]]
+    for extra in binaries[1:]:
+        cmd += ["-object", extra]
+    cmd += ["-instr-profile", profdata]
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    counts: dict[str, dict[int, int]] = {}
+    export = json.loads(proc.stdout)
+    for datum in export.get("data", []):
+        for entry in datum.get("files", []):
+            rel = os.path.relpath(entry.get("filename", ""), root)
+            rel = rel.replace(os.sep, "/")
+            if not rel.startswith("src/"):
+                continue
+            per_file = counts.setdefault(rel, {})
+            # segments: [line, col, count, has_count, is_region_entry, ...]
+            for seg in entry.get("segments", []):
+                line, _col, cnt, has_count = seg[0], seg[1], seg[2], seg[3]
+                if not has_count:
+                    continue
+                if cnt > per_file.get(line, -1):
+                    per_file[line] = cnt
+    return counts
+
+
+# --------------------------------------------------------------------------
+# reporting + floor
+
+
+def directory_of(rel: str) -> str:
+    parts = rel.split("/")
+    return "/".join(parts[:2]) if len(parts) > 2 else "src"
+
+
+def summarize(counts: dict[str, dict[int, int]]) -> dict[str, tuple[int, int]]:
+    """Map directory -> (instrumented lines, covered lines)."""
+    summary: dict[str, tuple[int, int]] = {}
+    for rel, lines in counts.items():
+        total = len(lines)
+        covered = sum(1 for c in lines.values() if c > 0)
+        d = directory_of(rel)
+        t, c = summary.get(d, (0, 0))
+        summary[d] = (t + total, c + covered)
+    return summary
+
+
+def pct(covered: int, total: int) -> float:
+    return 100.0 * covered / total if total else 0.0
+
+
+def read_floor(path: str) -> dict[str, float]:
+    floors: dict[str, float] = {}
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            name, value = line.split()
+            floors[name] = float(value)
+    return floors
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="coverage_report", description="COMET src/ line-coverage gate"
+    )
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--floor-file", default=None)
+    parser.add_argument(
+        "--gcov", default=None, help="gcov tool (default: gcov, or $COMET_GCOV)"
+    )
+    args = parser.parse_args(argv)
+
+    build_dir = args.build_dir
+    if not os.path.isdir(build_dir):
+        print(f"coverage_report: build dir '{build_dir}' not found",
+              file=sys.stderr)
+        return 2
+
+    gcov_tool = args.gcov or os.environ.get("COMET_GCOV", "gcov")
+    counts = gcov_line_counts(build_dir, gcov_tool)
+    if not counts and shutil.which("llvm-cov"):
+        counts = llvm_line_counts(build_dir)
+    if not counts:
+        print(
+            "coverage_report: no profile data found - run the instrumented "
+            "suite first (scripts/check.sh --coverage)",
+            file=sys.stderr,
+        )
+        return 2
+
+    summary = summarize(counts)
+    grand_total = sum(t for t, _c in summary.values())
+    grand_covered = sum(c for _t, c in summary.values())
+
+    width = max(len(d) for d in summary) + 2
+    print(f"{'directory':<{width}} {'lines':>7} {'covered':>8} {'pct':>7}")
+    for d in sorted(summary):
+        t, c = summary[d]
+        print(f"{d:<{width}} {t:>7} {c:>8} {pct(c, t):>6.1f}%")
+    total_pct = pct(grand_covered, grand_total)
+    print(f"{'TOTAL':<{width}} {grand_total:>7} {grand_covered:>8} "
+          f"{total_pct:>6.1f}%")
+
+    if not args.floor_file:
+        return 0
+    floors = read_floor(args.floor_file)
+    failures = []
+    for name, floor in sorted(floors.items()):
+        if name == "total":
+            actual = total_pct
+        elif name in summary:
+            actual = pct(summary[name][1], summary[name][0])
+        else:
+            failures.append(f"floor entry '{name}' matches no src directory")
+            continue
+        if actual < floor:
+            failures.append(
+                f"{name}: {actual:.1f}% < floor {floor:.1f}% "
+                f"({args.floor_file})"
+            )
+    if failures:
+        for failure in failures:
+            print(f"coverage_report: FAIL {failure}", file=sys.stderr)
+        return 1
+    headroom = total_pct - floors.get("total", 0.0)
+    if headroom > 5.0:
+        print(
+            f"coverage_report: floor passed with {headroom:.1f} points of "
+            f"headroom - consider ratcheting {args.floor_file} up"
+        )
+    else:
+        print("coverage_report: floor passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,7 +1,6 @@
 #include "cost/cost_model.h"
 
 #include <algorithm>
-#include <cassert>
 #include <thread>
 
 // Deliberate upward dependency (mirrors core/anchor_engine.h's use of
@@ -10,6 +9,7 @@
 // serve/thread_pool.h includes nothing from cost/, so the include graph
 // stays acyclic.
 #include "serve/thread_pool.h"
+#include "util/contract.h"
 #include "util/sync.h"
 
 namespace comet::cost {
@@ -42,7 +42,9 @@ struct ChunkJoin {
 
 void CostModel::predict_batch(std::span<const x86::BasicBlock> blocks,
                               std::span<double> out) const {
-  assert(blocks.size() == out.size());
+  COMET_CHECK_MSG(blocks.size() == out.size(),
+                  "predict_batch: " << blocks.size() << " blocks but "
+                                    << out.size() << " output slots");
   for_batch_chunks(blocks.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       out[i] = predict(blocks[i]);

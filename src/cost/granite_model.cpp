@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <set>
 #include <stdexcept>
 
+#include "cost/checkpoint.h"
 #include "util/stats.h"
 
 namespace comet::cost {
@@ -244,68 +244,39 @@ double GraniteModel::train(const std::vector<x86::BasicBlock>& blocks,
   return util::mape(preds, acts);
 }
 
-void GraniteModel::save(const std::filesystem::path& path) const {
-  std::FILE* fp = std::fopen(path.string().c_str(), "wb");
-  if (fp == nullptr) {
-    throw std::runtime_error("GraniteModel::save: cannot open " +
-                             path.string());
+std::vector<nn::Mat*> GraniteModel::checkpoint_mats() {
+  std::vector<nn::Mat*> mats{&embedding_, &feat_w_};
+  for (auto& layer : layers_) {
+    for (auto* p : layer.params()) mats.push_back(p);
   }
-  bool ok = true;
-  const auto write_mat = [&](const nn::Mat& m) {
-    const std::uint64_t dims[2] = {m.rows(), m.cols()};
-    ok = ok && std::fwrite(dims, sizeof(dims), 1, fp) == 1;
-    ok = ok && std::fwrite(m.data(), sizeof(float), m.size(), fp) == m.size();
-  };
-  ok = std::fwrite(&kMagic, sizeof(kMagic), 1, fp) == 1;
-  write_mat(embedding_);
-  write_mat(feat_w_);
+  mats.push_back(&head_w_);
+  mats.push_back(&head_b_);
+  return mats;
+}
+
+std::vector<const nn::Mat*> GraniteModel::checkpoint_mats() const {
+  std::vector<const nn::Mat*> mats{&embedding_, &feat_w_};
   for (const auto& layer : layers_) {
-    for (const auto* p : layer.params()) write_mat(*p);
+    for (const auto* p : layer.params()) mats.push_back(p);
   }
-  write_mat(head_w_);
-  write_mat(head_b_);
-  ok = std::fclose(fp) == 0 && ok;
-  if (!ok) {
-    // A short write would masquerade as a valid cache until the next load;
-    // remove the partial file and fail loudly instead.
-    std::error_code ec;
-    std::filesystem::remove(path, ec);
-    throw std::runtime_error("GraniteModel::save: short write to " +
-                             path.string());
-  }
+  mats.push_back(&head_w_);
+  mats.push_back(&head_b_);
+  return mats;
+}
+
+void GraniteModel::save(const std::filesystem::path& path) const {
+  save_checkpoint(path, kMagic, "GraniteModel::save", checkpoint_mats());
 }
 
 bool GraniteModel::load(const std::filesystem::path& path) {
-  std::FILE* fp = std::fopen(path.string().c_str(), "rb");
-  if (fp == nullptr) return false;
-  bool ok = true;
-  const auto read_mat = [&](nn::Mat& m) {
-    std::uint64_t dims[2];
-    if (std::fread(dims, sizeof(dims), 1, fp) != 1 || dims[0] != m.rows() ||
-        dims[1] != m.cols()) {
-      ok = false;
-      return;
-    }
-    if (std::fread(m.data(), sizeof(float), m.size(), fp) != m.size()) {
-      ok = false;
-    }
-  };
-  std::uint32_t magic = 0;
-  if (std::fread(&magic, sizeof(magic), 1, fp) != 1 || magic != kMagic) {
-    std::fclose(fp);
-    return false;
-  }
-  read_mat(embedding_);
-  if (ok) read_mat(feat_w_);
-  for (auto& layer : layers_) {
-    for (auto* p : layer.params()) {
-      if (ok) read_mat(*p);
-    }
-  }
-  if (ok) read_mat(head_w_);
-  if (ok) read_mat(head_b_);
-  std::fclose(fp);
-  return ok;
+  // load_checkpoint (cost/checkpoint.h) stages, size-gates, and validates:
+  // missing file or stale magic is a cache miss (false); a truncated,
+  // oversized, dimension-forged, or bit-flipped checkpoint throws
+  // util::ContractViolation before any live weight changes. This also
+  // closes an older gap: GraniteModel used to stream weights straight into
+  // the live matrices, so a truncated file left the model half-overwritten.
+  return load_checkpoint(path, kMagic, "GraniteModel::load",
+                         checkpoint_mats());
 }
 
 double GraniteModel::train_or_load(

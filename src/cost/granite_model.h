@@ -77,6 +77,10 @@ class GraniteModel final : public CostModel {
   struct Forward;
   Forward forward(const x86::BasicBlock& block) const;
 
+  /// The matrices of the checkpoint format, in serialization order.
+  std::vector<nn::Mat*> checkpoint_mats();
+  std::vector<const nn::Mat*> checkpoint_mats() const;
+
   /// Per-instruction numeric semantic features (operand counts, memory
   /// access bits, flag effects, widths).
   static constexpr std::size_t kNumNodeFeats = 8;

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <stdexcept>
 
+#include "cost/checkpoint.h"
+#include "util/contract.h"
 #include "util/stats.h"
 
 namespace comet::cost {
@@ -69,6 +70,13 @@ std::vector<std::vector<int>> BlockTokenizer::tokenize(
           break;
         }
       }
+    }
+    // Every token id must index a real embedding row: a token outside the
+    // vocabulary would read (and, in training, write) out of bounds. The
+    // tokenizer owns the vocabulary, so this is an internal contract — a
+    // debug check, forced on in the fuzz/coverage builds.
+    for (const int t : toks) {
+      COMET_DCHECK(t >= 0 && static_cast<std::size_t>(t) < vocab_size_);
     }
     out.push_back(std::move(toks));
   }
@@ -281,82 +289,36 @@ double IthemalModel::train(const std::vector<x86::BasicBlock>& blocks,
   return util::mape(preds, acts);
 }
 
+std::vector<nn::Mat*> IthemalModel::checkpoint_mats() {
+  std::vector<nn::Mat*> mats{&embedding_};
+  for (auto* p : token_lstm_.params()) mats.push_back(p);
+  for (auto* p : block_lstm_.params()) mats.push_back(p);
+  mats.push_back(&head_w_);
+  mats.push_back(&head_b_);
+  return mats;
+}
+
+std::vector<const nn::Mat*> IthemalModel::checkpoint_mats() const {
+  std::vector<const nn::Mat*> mats{&embedding_};
+  for (const auto* p : token_lstm_.params()) mats.push_back(p);
+  for (const auto* p : block_lstm_.params()) mats.push_back(p);
+  mats.push_back(&head_w_);
+  mats.push_back(&head_b_);
+  return mats;
+}
+
 void IthemalModel::save(const std::filesystem::path& path) const {
-  std::FILE* fp = std::fopen(path.string().c_str(), "wb");
-  if (fp == nullptr) {
-    throw std::runtime_error("IthemalModel::save: cannot open " +
-                             path.string());
-  }
-  bool ok = true;
-  const auto write_mat = [&](const nn::Mat& m) {
-    const std::uint64_t dims[2] = {m.rows(), m.cols()};
-    ok = ok && std::fwrite(dims, sizeof(dims), 1, fp) == 1;
-    ok = ok && std::fwrite(m.data(), sizeof(float), m.size(), fp) == m.size();
-  };
-  ok = std::fwrite(&kMagic, sizeof(kMagic), 1, fp) == 1;
-  write_mat(embedding_);
-  for (const auto* p : token_lstm_.params()) write_mat(*p);
-  for (const auto* p : block_lstm_.params()) write_mat(*p);
-  write_mat(head_w_);
-  write_mat(head_b_);
-  ok = std::fclose(fp) == 0 && ok;
-  if (!ok) {
-    // A short write would masquerade as a valid cache until the next load;
-    // remove the partial file and fail loudly instead.
-    std::error_code ec;
-    std::filesystem::remove(path, ec);
-    throw std::runtime_error("IthemalModel::save: short write to " +
-                             path.string());
-  }
+  save_checkpoint(path, kMagic, "IthemalModel::save", checkpoint_mats());
 }
 
 bool IthemalModel::load(const std::filesystem::path& path) {
-  std::FILE* fp = std::fopen(path.string().c_str(), "rb");
-  if (fp == nullptr) return false;
-  // Stage every matrix into temporaries and commit only after the whole
-  // checkpoint has validated: a truncated or corrupt file must not leave
-  // the live model half-overwritten (train_or_load would then silently
-  // retrain from garbage instead of the deterministic init).
-  bool ok = true;
-  std::vector<nn::Mat> staged;
-  const auto read_mat = [&](const nn::Mat& m) {
-    if (!ok) return;
-    std::uint64_t dims[2];
-    if (std::fread(dims, sizeof(dims), 1, fp) != 1 || dims[0] != m.rows() ||
-        dims[1] != m.cols()) {
-      ok = false;
-      return;
-    }
-    nn::Mat tmp(m.rows(), m.cols());
-    if (std::fread(tmp.data(), sizeof(float), tmp.size(), fp) != tmp.size()) {
-      ok = false;
-      return;
-    }
-    staged.push_back(std::move(tmp));
-  };
-  std::uint32_t magic = 0;
-  if (std::fread(&magic, sizeof(magic), 1, fp) != 1 || magic != kMagic) {
-    std::fclose(fp);
-    return false;
-  }
-  read_mat(embedding_);
-  for (const auto* p : token_lstm_.params()) read_mat(*p);
-  for (const auto* p : block_lstm_.params()) read_mat(*p);
-  read_mat(head_w_);
-  read_mat(head_b_);
-  std::fclose(fp);
-  if (!ok) return false;
-
-  std::vector<nn::Mat*> targets{&embedding_};
-  for (auto* p : token_lstm_.params()) targets.push_back(p);
-  for (auto* p : block_lstm_.params()) targets.push_back(p);
-  targets.push_back(&head_w_);
-  targets.push_back(&head_b_);
-  for (std::size_t i = 0; i < targets.size(); ++i) {
-    std::copy(staged[i].data(), staged[i].data() + staged[i].size(),
-              targets[i]->data());
-  }
-  return true;
+  // Size/shape gating, payload validation, and staged commit all live in
+  // load_checkpoint (cost/checkpoint.h): a missing file or stale magic is
+  // a cache miss (false), while a truncated, oversized, or bit-flipped
+  // checkpoint throws util::ContractViolation before the live weights are
+  // touched.
+  return load_checkpoint(path, kMagic, "IthemalModel::load",
+                         checkpoint_mats());
 }
 
 double IthemalModel::train_or_load(

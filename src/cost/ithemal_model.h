@@ -97,6 +97,10 @@ class IthemalModel final : public CostModel {
   struct Forward;
   Forward forward(const x86::BasicBlock& block) const;
 
+  /// The matrices of the checkpoint format, in serialization order.
+  std::vector<nn::Mat*> checkpoint_mats();
+  std::vector<const nn::Mat*> checkpoint_mats() const;
+
   /// One lane-packed batched forward over blocks[begin, end) — the unit of
   /// work predict_batch hands to each batch-threads chunk.
   void predict_range(std::span<const x86::BasicBlock> blocks,

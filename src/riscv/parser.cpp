@@ -1,6 +1,6 @@
 #include "riscv/parser.h"
 
-#include <cstdlib>
+#include <charconv>
 
 #include "util/str.h"
 
@@ -20,14 +20,31 @@ Reg expect_reg(std::string_view line, std::string_view tok) {
 }
 
 std::int64_t expect_imm(std::string_view line, std::string_view tok) {
-  const std::string s(util::trim(tok));
+  // from_chars instead of strtoll: strtoll reports overflow only through
+  // errno, so "99999999999999999999999" silently became LLONG_MAX and an
+  // absurd immediate sailed through the parse boundary (found by
+  // fuzz_riscv_parser). from_chars makes out-of-range a parse error.
+  std::string_view s = util::trim(tok);
   if (s.empty()) fail(line, "missing immediate");
-  char* end = nullptr;
-  const long long v = std::strtoll(s.c_str(), &end, 0);
-  if (end == nullptr || *end != '\0') {
-    fail(line, "bad immediate '" + s + "'");
+  const std::string original(s);
+  bool neg = false;
+  if (s.front() == '-' || s.front() == '+') {
+    neg = s.front() == '-';
+    s.remove_prefix(1);
   }
-  return v;
+  int base = 10;
+  if (util::starts_with(s, "0x") || util::starts_with(s, "0X")) {
+    base = 16;
+    s.remove_prefix(2);
+  }
+  if (s.empty()) fail(line, "bad immediate '" + original + "'");
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value, base);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    fail(line, "bad immediate '" + original + "'");
+  }
+  return neg ? -value : value;
 }
 
 /// Split "imm(reg)" into its parts.

@@ -89,7 +89,14 @@ MemOperand parse_mem_expr(std::string_view expr) {
       continue;
     }
     if (const auto value = parse_int(term)) {
-      mem.disp += tsign * *value;
+      // Checked accumulation: "[rax + 9e18 + 9e18]" must be a ParseError,
+      // not signed-overflow UB (found by fuzz_x86_parser under UBSan).
+      const std::int64_t signed_term = tsign < 0 ? -*value : *value;
+      std::int64_t next_disp = 0;
+      if (__builtin_add_overflow(mem.disp, signed_term, &next_disp)) {
+        throw ParseError("displacement overflow: " + term);
+      }
+      mem.disp = next_disp;
       continue;
     }
     throw ParseError("bad memory term: " + term);

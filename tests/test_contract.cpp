@@ -1,0 +1,65 @@
+// Tests for the contract macros (src/util/contract.h): COMET_CHECK and
+// COMET_CHECK_MSG throw typed ContractViolation (never abort), messages
+// carry the condition, location, and streamed context, and COMET_DCHECK
+// compiles out only when COMET_DCHECK_ENABLED is 0.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/contract.h"
+
+namespace cu = comet::util;
+
+TEST(Contract, CheckPassesSilently) {
+  EXPECT_NO_THROW(COMET_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(COMET_CHECK_MSG(true, "never evaluated " << 42));
+}
+
+TEST(Contract, CheckThrowsTypedException) {
+  EXPECT_THROW(COMET_CHECK(false), cu::ContractViolation);
+  // ContractViolation is a logic_error: callers can catch it generically
+  // without suppressing unrelated exception types.
+  EXPECT_THROW(COMET_CHECK(false), std::logic_error);
+}
+
+TEST(Contract, MessageCarriesConditionAndLocation) {
+  try {
+    COMET_CHECK(2 + 2 == 5);
+    FAIL() << "COMET_CHECK(false) did not throw";
+  } catch (const cu::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_contract.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Contract, CheckMsgStreamsContext) {
+  const int got = 3, want = 7;
+  try {
+    COMET_CHECK_MSG(got == want, "got " << got << ", want " << want);
+    FAIL() << "COMET_CHECK_MSG(false, ...) did not throw";
+  } catch (const cu::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("got 3, want 7"), std::string::npos) << what;
+  }
+}
+
+TEST(Contract, CheckEvaluatesConditionExactlyOnce) {
+  int evaluations = 0;
+  COMET_CHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Contract, DcheckMatchesCompileTimeSetting) {
+  int evaluations = 0;
+#if COMET_DCHECK_ENABLED
+  EXPECT_THROW(COMET_DCHECK(false), cu::ContractViolation);
+  COMET_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+#else
+  EXPECT_NO_THROW(COMET_DCHECK(false));
+  COMET_DCHECK(++evaluations > 0);  // must not evaluate when disabled
+  EXPECT_EQ(evaluations, 0);
+#endif
+}

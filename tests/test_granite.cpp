@@ -3,11 +3,13 @@
 // model-agnostic CostModel interface.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 
 #include "bhive/dataset.h"
 #include "cost/granite_model.h"
+#include "util/contract.h"
 #include "x86/parser.h"
 
 namespace cc = comet::cost;
@@ -125,6 +127,44 @@ TEST(Granite, LoadRejectsWrongMagic) {
 TEST(Granite, LoadMissingFileReturnsFalse) {
   cc::GraniteModel model(cc::MicroArch::Haswell);
   EXPECT_FALSE(model.load("/nonexistent/path/weights.bin"));
+}
+
+// Regression: granite's old load() streamed weights straight into the live
+// matrices, so a truncated cache file left the model half-overwritten and
+// returned false as if nothing happened. Under the checkpoint contract a
+// truncated file behind a valid magic throws, and the staged commit keeps
+// the live weights bit-identical.
+TEST(Granite, TruncatedCheckpointThrowsAndPreservesWeights) {
+  const auto tmp = std::filesystem::temp_directory_path() /
+                   "comet_granite_truncated.bin";
+  cc::GraniteModel trained(cc::MicroArch::Haswell);
+  const auto block = paper_block();
+  trained.train_step(block, 2.0);
+  trained.save(tmp);
+  const auto full_size = std::filesystem::file_size(tmp);
+  std::filesystem::resize_file(tmp, full_size / 2);
+
+  cc::GraniteModel victim(cc::MicroArch::Haswell);
+  victim.train_step(block, 5.0);
+  const double before = victim.predict(block);
+  EXPECT_THROW(victim.load(tmp), comet::util::ContractViolation);
+  EXPECT_DOUBLE_EQ(victim.predict(block), before);
+  std::filesystem::remove(tmp);
+}
+
+// Appending bytes to a valid granite checkpoint trips the total-size gate.
+TEST(Granite, OversizedCheckpointThrows) {
+  const auto tmp = std::filesystem::temp_directory_path() /
+                   "comet_granite_oversized.bin";
+  cc::GraniteModel model(cc::MicroArch::Haswell);
+  model.save(tmp);
+  std::FILE* fp = std::fopen(tmp.string().c_str(), "ab");
+  ASSERT_NE(fp, nullptr);
+  const std::uint64_t extra = 0;
+  ASSERT_EQ(std::fwrite(&extra, 1, sizeof(extra), fp), sizeof(extra));
+  std::fclose(fp);
+  EXPECT_THROW(model.load(tmp), comet::util::ContractViolation);
+  std::filesystem::remove(tmp);
 }
 
 TEST(Granite, TrainOrLoadUsesCache) {

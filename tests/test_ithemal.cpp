@@ -2,11 +2,13 @@
 // synthetic datasets, serialization round-trip, and train_or_load caching.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 
 #include "bhive/dataset.h"
 #include "cost/ithemal_model.h"
+#include "util/contract.h"
 #include "util/stats.h"
 #include "x86/parser.h"
 
@@ -26,6 +28,17 @@ cc::IthemalConfig tiny_config() {
 }
 
 const cc::MicroArch HSW = cc::MicroArch::Haswell;
+
+// Overwrite `n` bytes at `offset` in the file at `p` (adversarial
+// checkpoint-corruption helper for the load() hardening tests).
+void patch_file(const std::filesystem::path& p, long offset, const void* bytes,
+                std::size_t n) {
+  std::FILE* fp = std::fopen(p.string().c_str(), "r+b");
+  ASSERT_NE(fp, nullptr);
+  ASSERT_EQ(std::fseek(fp, offset, SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(bytes, 1, n, fp), n);
+  std::fclose(fp);
+}
 
 }  // namespace
 
@@ -160,11 +173,12 @@ TEST(Ithemal, LoadRejectsMissingOrCorruptFiles) {
   std::filesystem::remove(path);
 }
 
-// Regression: a failed load must not leave the model half-overwritten.
-// Historically load() streamed weights straight into the live matrices and
-// only then noticed the file was truncated, so a corrupt cache poisoned the
-// model that train_or_load would silently "retrain" from garbage.
-TEST(Ithemal, FailedLoadLeavesPredictionsUnchanged) {
+// Regression: a truncated checkpoint behind a valid magic is structural
+// corruption, not a cache miss — load() must throw ContractViolation
+// (total-size gate, before any payload read) and must not leave the model
+// half-overwritten. Historically load() streamed weights straight into the
+// live matrices and only then noticed the file was truncated.
+TEST(Ithemal, TruncatedCheckpointThrowsAndPreservesWeights) {
   const auto path =
       std::filesystem::temp_directory_path() / "comet_test_truncated.bin";
   cc::IthemalModel trained(HSW, tiny_config());
@@ -173,16 +187,32 @@ TEST(Ithemal, FailedLoadLeavesPredictionsUnchanged) {
   trained.save(path);
 
   // Truncate the checkpoint mid-weights: keep the magic and the first
-  // matrix header so the failure happens deep inside the read, after the
-  // old code had already clobbered part of the model.
+  // matrix header so a naive reader would fail deep inside the read, after
+  // having already clobbered part of the model.
   const auto full_size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, full_size / 2);
 
   cc::IthemalModel victim(HSW, tiny_config());
   victim.train_step(block, 5.0);  // distinct live weights worth preserving
   const double before = victim.predict(block);
-  EXPECT_FALSE(victim.load(path));
+  EXPECT_THROW(victim.load(path), comet::util::ContractViolation);
   EXPECT_DOUBLE_EQ(victim.predict(block), before);
+  std::filesystem::remove(path);
+}
+
+// An adversary who appends bytes to a valid checkpoint (or splices two
+// checkpoints together) must hit the same total-size gate as truncation.
+TEST(Ithemal, OversizedCheckpointThrows) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "comet_test_oversized.bin";
+  cc::IthemalModel model(HSW, tiny_config());
+  model.save(path);
+  std::FILE* fp = std::fopen(path.string().c_str(), "ab");
+  ASSERT_NE(fp, nullptr);
+  const char trailer[] = "trailing garbage";
+  ASSERT_EQ(std::fwrite(trailer, 1, sizeof(trailer), fp), sizeof(trailer));
+  std::fclose(fp);
+  EXPECT_THROW(model.load(path), comet::util::ContractViolation);
   std::filesystem::remove(path);
 }
 
@@ -194,7 +224,51 @@ TEST(Ithemal, LoadRejectsDimensionMismatch) {
   cc::IthemalConfig bigger = tiny_config();
   bigger.hidden_dim = 20;
   cc::IthemalModel big(HSW, bigger);
-  EXPECT_FALSE(big.load(path));
+  // Different architecture => different expected byte count: the total-size
+  // gate treats the file as structurally corrupt for this model.
+  EXPECT_THROW(big.load(path), comet::util::ContractViolation);
+  std::filesystem::remove(path);
+}
+
+// A bit flip inside a dimension header forges the matrix shape without
+// changing the file size. The per-matrix dims gate must reject it before
+// any buffer is sized from the forged value.
+TEST(Ithemal, BitFlippedDimensionHeaderThrows) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "comet_test_bitflip.bin";
+  cc::IthemalModel model(HSW, tiny_config());
+  model.save(path);
+  // Offset 4: low byte of the first matrix's uint64 row count (the uint32
+  // magic occupies bytes 0-3).
+  std::uint8_t byte = 0;
+  {
+    std::FILE* fp = std::fopen(path.string().c_str(), "rb");
+    ASSERT_NE(fp, nullptr);
+    ASSERT_EQ(std::fseek(fp, 4, SEEK_SET), 0);
+    ASSERT_EQ(std::fread(&byte, 1, 1, fp), 1u);
+    std::fclose(fp);
+  }
+  byte ^= 0x01;
+  patch_file(path, 4, &byte, 1);
+  EXPECT_THROW(model.load(path), comet::util::ContractViolation);
+  std::filesystem::remove(path);
+}
+
+// A NaN smuggled into the weight payload (cosmic-ray bit flip, foreign
+// blob with a colliding magic) must be rejected by the finite-weight gate
+// and must not touch the live weights.
+TEST(Ithemal, NonFiniteWeightThrowsAndPreservesWeights) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "comet_test_nan.bin";
+  cc::IthemalModel model(HSW, tiny_config());
+  const auto block = cx::parse_block("add rcx, rax\nmov rdx, rcx");
+  model.save(path);
+  // Offset 20: first float of the first matrix payload (magic 4 + dims 16).
+  const std::uint32_t quiet_nan = 0x7fc00000u;
+  patch_file(path, 20, &quiet_nan, sizeof(quiet_nan));
+  const double before = model.predict(block);
+  EXPECT_THROW(model.load(path), comet::util::ContractViolation);
+  EXPECT_DOUBLE_EQ(model.predict(block), before);
   std::filesystem::remove(path);
 }
 

@@ -85,6 +85,13 @@ class RuleFiresAndSuppresses(unittest.TestCase):
         self.check("src/util/helpers.cpp", "using namespace std;",
                    "using-namespace")
 
+    def test_raw_assert(self):
+        self.check("src/x86/parser.cpp", "assert(idx < ops.size());",
+                   "raw-assert")
+        self.check("src/cost/model.cpp", "if (bad) std::abort();",
+                   "raw-assert")
+        self.check("src/cost/model.cpp", "if (bad) abort();", "raw-assert")
+
     def test_raw_clock(self):
         self.check("src/serve/foo.cpp",
                    "auto t = std::chrono::system_clock::now();", "raw-clock")
@@ -164,6 +171,13 @@ class ScrubberNegatives(unittest.TestCase):
             [], rules_hit("src/util/fmt.cpp",
                           'std::snprintf(buf, n, "%d", v);\n'
                           "std::fprintf(stderr, \"x\");"))
+
+    def test_raw_assert_spares_static_assert_and_contract_macros(self):
+        ok = ("static_assert(sizeof(x) == 8, \"layout\");\n"
+              "COMET_CHECK(idx < ops.size());\n"
+              "COMET_DCHECK(t >= 0);\n"
+              "void my_assert_helper(int);")
+        self.assertEqual([], rules_hit("src/x86/parser.cpp", ok))
 
 
 class UncheckedIoPositioning(unittest.TestCase):
@@ -246,7 +260,7 @@ class CommandLine(unittest.TestCase):
         self.assertEqual(0, result.returncode)
         for rule in ("libm-in-nn", "raw-sync", "unchecked-io", "raw-random",
                      "stdout-in-library", "include-guard", "using-namespace",
-                     "raw-clock"):
+                     "raw-clock", "raw-assert"):
             self.assertIn(rule, result.stdout)
 
 

@@ -104,6 +104,25 @@ TEST(Riscv, PrintParseRoundTripOverCorpus) {
 
 // ---------- x0 semantics (the instance-specific challenge) ----------
 
+// Parse-boundary hardening (fuzz_riscv_parser corpus). The overflow cases
+// are a fixed bug: immediates used to go through strtoll, which silently
+// clamps out-of-range values to LLONG_MAX instead of rejecting them.
+TEST(Riscv, ParserRejectsAdversarialImmediates) {
+  EXPECT_THROW(rv::parse_instruction("addi t0, t1, 99999999999999999999999"),
+               rv::ParseError);
+  EXPECT_THROW(rv::parse_instruction("lw x1, 99999999999999999999999(x2)"),
+               rv::ParseError);
+  EXPECT_THROW(rv::parse_instruction("addi t0, t1, 0x"), rv::ParseError);
+  EXPECT_THROW(rv::parse_instruction("addi t0, t1, 12junk"), rv::ParseError);
+  EXPECT_THROW(rv::parse_instruction("addi t0, t1,"), rv::ParseError);
+  EXPECT_THROW(rv::parse_instruction("lw x1, 8(x2"), rv::ParseError);
+}
+
+TEST(Riscv, ParserAcceptsHexAndNegativeImmediates) {
+  EXPECT_EQ(rv::parse_instruction("addi t0, t1, 0x10").imm, 16);
+  EXPECT_EQ(rv::parse_instruction("addi t0, t1, -8").imm, -8);
+}
+
 TEST(Riscv, ZeroRegisterCarriesNoDependency) {
   // add zero, a0, a1 writes x0 => architecturally discarded.
   const auto s = rv::semantics(rv::parse_instruction("add zero, a0, a1"));

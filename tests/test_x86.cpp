@@ -416,6 +416,39 @@ TEST(Parser, RejectsBadInput) {
   EXPECT_THROW(cx::parse_instruction(""), cx::ParseError);
 }
 
+// Parse-boundary hardening (fuzz_x86_parser corpus): every adversarial
+// input must raise ParseError — never overflow, index out of range, or
+// abort. The displacement cases are a fixed bug: `[rax + MAX + MAX]` used
+// to accumulate with a signed add, which is undefined behaviour.
+TEST(Parser, AdversarialInputsRaiseParseError) {
+  // Signed-overflow in displacement accumulation.
+  EXPECT_THROW(
+      cx::parse_instruction("add rcx, qword ptr [rax + 9223372036854775807 + "
+                            "9223372036854775807]"),
+      cx::ParseError);
+  EXPECT_THROW(
+      cx::parse_instruction("add rcx, qword ptr [rax - 9223372036854775807 - "
+                            "9223372036854775807]"),
+      cx::ParseError);
+  // Empty operands around dangling separators.
+  EXPECT_THROW(cx::parse_instruction("add ,"), cx::ParseError);
+  EXPECT_THROW(cx::parse_instruction("add rax,"), cx::ParseError);
+  EXPECT_THROW(cx::parse_instruction("add , rax"), cx::ParseError);
+  // Unterminated memory brackets.
+  EXPECT_THROW(cx::parse_instruction("mov rax, ["), cx::ParseError);
+  EXPECT_THROW(cx::parse_instruction("mov rax, [rbx"), cx::ParseError);
+  EXPECT_THROW(cx::parse_instruction("mov rax, qword ptr [rbx + "),
+               cx::ParseError);
+  // Immediates beyond int64 range must not silently wrap.
+  EXPECT_THROW(cx::parse_instruction("mov rax, 99999999999999999999999"),
+               cx::ParseError);
+  // Non-ASCII bytes (raw high bytes, UTF-8 BOM glued to the mnemonic).
+  EXPECT_THROW(cx::parse_instruction("mov rax, \xff\xfe\xc0"), cx::ParseError);
+  EXPECT_THROW(cx::parse_instruction("\xef\xbb\xbf"
+                                     "add rcx, rax"),
+               cx::ParseError);
+}
+
 TEST(Parser, BlockWithCommentsAndListingNumbers) {
   const auto block = cx::parse_block(R"(
     1: add rcx, rax   ; RAW with next
