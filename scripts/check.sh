@@ -94,9 +94,9 @@ case "$MODE" in
       exit 1
     fi
     cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve \
-      test_query_broker test_batch_parity test_obs
+      test_query_broker test_batch_parity test_obs test_net test_remote_shard
     ctest --test-dir "$TSAN_DIR" --output-on-failure \
-      -R 'test_serve|test_query_broker|test_batch_parity|test_obs'
+      -R 'test_serve|test_query_broker|test_batch_parity|test_obs|test_net|test_remote_shard'
     echo "check.sh: tsan serving pass green"
     ;;
 
@@ -161,7 +161,8 @@ case "$MODE" in
     cmake --build "$FUZZ_DIR" -j "$JOBS"
     FUZZ_SECS=${COMET_FUZZ_SECS:-30}
     for target in fuzz_x86_parser fuzz_riscv_parser fuzz_ithemal_checkpoint \
-                  fuzz_granite_checkpoint fuzz_bhive_dataset; do
+                  fuzz_granite_checkpoint fuzz_bhive_dataset \
+                  fuzz_wire_protocol; do
       bin="$FUZZ_DIR/$target"
       corpus="fuzz/corpus/$target"
       if [[ ! -x "$bin" ]]; then

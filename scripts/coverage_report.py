@@ -20,6 +20,7 @@ floor file may also pin individual directories:
     # scripts/coverage_floor.txt
     total    78.0
     src/x86  85.0
+    src/net  90.0   # untrusted-input surfaces carry their own floor
 
 Raise the floor when coverage rises - the gate only ever ratchets up.
 

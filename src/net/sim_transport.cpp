@@ -1,0 +1,189 @@
+#include "net/sim_transport.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+#include "obs/clock.h"
+#include "util/contract.h"
+#include "util/rng.h"
+#include "util/sync.h"
+
+namespace comet::net {
+
+namespace {
+
+// One direction of the pair: a byte queue plus the machinery the fault
+// kinds need (held chunks for kDelay, a swap slot for kReorder). All
+// state is guarded by the channel mutex; senders and receivers may live
+// on different threads, and close() may arrive from a third.
+struct Channel {
+  util::Mutex mutex;
+  util::CondVar cv;
+  std::deque<std::uint8_t> bytes COMET_GUARDED_BY(mutex);
+  bool closed COMET_GUARDED_BY(mutex) = false;
+  std::size_t send_index COMET_GUARDED_BY(mutex) = 0;
+
+  struct Held {
+    std::vector<std::uint8_t> data;
+    std::size_t sends_left;
+  };
+  std::vector<Held> held COMET_GUARDED_BY(mutex);
+  std::optional<std::vector<std::uint8_t>> swap_slot COMET_GUARDED_BY(mutex);
+
+  void enqueue(std::span<const std::uint8_t> chunk) COMET_REQUIRES(mutex) {
+    bytes.insert(bytes.end(), chunk.begin(), chunk.end());
+  }
+};
+
+class SimEndpoint final : public Transport {
+ public:
+  SimEndpoint(std::shared_ptr<Channel> out, std::shared_ptr<Channel> in,
+              FaultSchedule faults)
+      : out_(std::move(out)), in_(std::move(in)), faults_(std::move(faults)) {}
+
+  ~SimEndpoint() override { close(); }
+
+  void send(std::span<const std::uint8_t> chunk) override {
+    util::MutexLock lock(out_->mutex);
+    if (out_->closed) {
+      throw DisconnectedError("SimTransport: send on closed connection");
+    }
+    const Fault fault = faults_.at(out_->send_index++);
+    apply(fault, chunk);
+    // Release ordering machinery: chunks held by kDelay come due as later
+    // sends happen; a kReorder swap slot empties right after the chunk
+    // that displaced it.
+    if (fault.kind != Fault::Kind::kDelay) {
+      for (auto it = out_->held.begin(); it != out_->held.end();) {
+        if (--it->sends_left == 0) {
+          out_->enqueue(it->data);
+          it = out_->held.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (fault.kind != Fault::Kind::kReorder && out_->swap_slot.has_value()) {
+      out_->enqueue(*out_->swap_slot);
+      out_->swap_slot.reset();
+    }
+    out_->cv.notify_all();
+  }
+
+  std::size_t recv(std::span<std::uint8_t> buf,
+                   std::uint64_t timeout_ns) override {
+    if (buf.empty()) return 0;
+    const obs::Clock& clock = obs::steady_clock();
+    const std::uint64_t deadline =
+        timeout_ns == kNoTimeout ? 0 : clock.now_ns() + timeout_ns;
+    util::MutexLock lock(in_->mutex);
+    while (in_->bytes.empty() && !in_->closed) {
+      if (timeout_ns == kNoTimeout) {
+        in_->cv.wait(lock);
+        continue;
+      }
+      const std::uint64_t now = clock.now_ns();
+      if (now >= deadline) {
+        throw TimeoutError("SimTransport: recv deadline elapsed");
+      }
+      in_->cv.wait_for_ns(lock, deadline - now);
+    }
+    if (in_->bytes.empty()) return 0;  // closed and drained: end of stream
+    std::size_t n = 0;
+    while (n < buf.size() && !in_->bytes.empty()) {
+      buf[n++] = in_->bytes.front();
+      in_->bytes.pop_front();
+    }
+    return n;
+  }
+
+  void close() override {
+    {
+      util::MutexLock lock(out_->mutex);
+      out_->closed = true;
+      out_->cv.notify_all();
+    }
+    {
+      util::MutexLock lock(in_->mutex);
+      in_->closed = true;
+      in_->cv.notify_all();
+    }
+  }
+
+ private:
+  void apply(const Fault& fault, std::span<const std::uint8_t> chunk)
+      COMET_REQUIRES(out_->mutex) {
+    switch (fault.kind) {
+      case Fault::Kind::kNone:
+        out_->enqueue(chunk);
+        break;
+      case Fault::Kind::kDrop:
+        break;
+      case Fault::Kind::kTruncate:
+        out_->enqueue(chunk.first(std::min(fault.arg, chunk.size())));
+        break;
+      case Fault::Kind::kDuplicate:
+        out_->enqueue(chunk);
+        out_->enqueue(chunk);
+        break;
+      case Fault::Kind::kDelay:
+        out_->held.push_back(
+            {std::vector<std::uint8_t>(chunk.begin(), chunk.end()),
+             std::max<std::size_t>(fault.arg, 1)});
+        break;
+      case Fault::Kind::kReorder:
+        // A second reorder before the first resolved: release the older
+        // chunk first so bytes are never silently lost.
+        if (out_->swap_slot.has_value()) {
+          out_->enqueue(*out_->swap_slot);
+        }
+        out_->swap_slot =
+            std::vector<std::uint8_t>(chunk.begin(), chunk.end());
+        break;
+      case Fault::Kind::kDisconnectAfter:
+        out_->enqueue(chunk.first(std::min(fault.arg, chunk.size())));
+        out_->closed = true;
+        break;
+    }
+  }
+
+  std::shared_ptr<Channel> out_;
+  std::shared_ptr<Channel> in_;
+  FaultSchedule faults_;
+};
+
+}  // namespace
+
+FaultSchedule FaultSchedule::seeded(std::uint64_t seed, std::size_t sends,
+                                    double fault_rate) {
+  COMET_CHECK(fault_rate >= 0.0 && fault_rate <= 1.0);
+  util::Rng rng(seed);
+  std::vector<Fault> plan(sends);
+  for (auto& fault : plan) {
+    if (!rng.bernoulli(fault_rate)) continue;
+    // kDisconnectAfter is excluded from random sweeps: it kills the
+    // direction for good, which would mask the faults planned after it.
+    switch (rng.index(5)) {
+      case 0: fault = Fault::drop(); break;
+      case 1: fault = Fault::truncate(rng.index(24)); break;
+      case 2: fault = Fault::duplicate(); break;
+      case 3: fault = Fault::delay(1 + rng.index(2)); break;
+      default: fault = Fault::reorder(); break;
+    }
+  }
+  return FaultSchedule(std::move(plan));
+}
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_sim_pair(FaultSchedule first_to_second, FaultSchedule second_to_first) {
+  auto a_to_b = std::make_shared<Channel>();
+  auto b_to_a = std::make_shared<Channel>();
+  auto first = std::make_unique<SimEndpoint>(a_to_b, b_to_a,
+                                             std::move(first_to_second));
+  auto second = std::make_unique<SimEndpoint>(b_to_a, a_to_b,
+                                              std::move(second_to_first));
+  return {std::move(first), std::move(second)};
+}
+
+}  // namespace comet::net

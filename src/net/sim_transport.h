@@ -1,0 +1,109 @@
+// net::SimTransport: the deterministic in-process network fabric for the
+// fault-injection test rig.
+//
+// make_sim_pair() returns two connected Transport endpoints backed by
+// in-memory byte channels. Each direction carries a FaultSchedule — a
+// per-send plan of injected failures — so every network pathology the
+// remote-shard stack must survive becomes a reproducible unit test
+// instead of a flake:
+//
+//   kDrop               the chunk vanishes (receiver sees nothing → the
+//                       waiting peer's deadline fires)
+//   kTruncate(n)        only the first n bytes arrive (partial frame →
+//                       the assembler stalls, the deadline fires)
+//   kDuplicate          the chunk arrives twice (stale-response handling)
+//   kDelay(k)           the chunk is held until k further sends occur on
+//                       this direction (late responses to dead requests)
+//   kReorder            the chunk swaps with the next chunk sent
+//   kDisconnectAfter(n) the first n bytes arrive, then the direction dies:
+//                       the receiver sees end-of-stream, later sends on
+//                       this endpoint throw DisconnectedError
+//
+// Schedules are either explicit (one Fault per send ordinal — the fault
+// matrix tests) or derived deterministically from a seed via util::Rng
+// (FaultSchedule::seeded, for randomized sweeps that stay bit-reproducible
+// run-to-run: same seed, same faults, same typed outcomes).
+//
+// Determinism note: SimTransport injects no real latency — kDelay is
+// ordering-based (held until later sends), not time-based — so the only
+// wall-clock dependence a test has is the recv deadline it chooses, and a
+// faulted exchange always resolves to the same typed outcome regardless
+// of scheduling jitter (the dropped bytes never arrive, however long the
+// wait).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace comet::net {
+
+/// One injected failure, applied to a single send() on a direction.
+struct Fault {
+  enum class Kind : std::uint8_t {
+    kNone,
+    kDrop,
+    kTruncate,
+    kDuplicate,
+    kDelay,
+    kReorder,
+    kDisconnectAfter,
+  };
+
+  Kind kind = Kind::kNone;
+  /// kTruncate / kDisconnectAfter: bytes delivered before the fault bites.
+  /// kDelay: sends to hold the chunk for (at least 1).
+  std::size_t arg = 0;
+
+  static Fault none() { return {}; }
+  static Fault drop() { return {Kind::kDrop, 0}; }
+  static Fault truncate(std::size_t bytes) { return {Kind::kTruncate, bytes}; }
+  static Fault duplicate() { return {Kind::kDuplicate, 0}; }
+  static Fault delay(std::size_t sends = 1) { return {Kind::kDelay, sends}; }
+  static Fault reorder() { return {Kind::kReorder, 0}; }
+  static Fault disconnect_after(std::size_t bytes) {
+    return {Kind::kDisconnectAfter, bytes};
+  }
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// A deterministic per-send fault plan for one direction of a sim pair.
+/// Send ordinal i (0-based) suffers per_send[i]; sends past the end of the
+/// plan are clean.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  explicit FaultSchedule(std::vector<Fault> per_send)
+      : per_send_(std::move(per_send)) {}
+
+  /// Pseudo-random schedule over `sends` send ordinals, fully determined
+  /// by `seed`: each send independently suffers a fault with probability
+  /// `fault_rate`, the kind and argument drawn from the seeded stream.
+  /// Same seed → same schedule, every run, every platform.
+  static FaultSchedule seeded(std::uint64_t seed, std::size_t sends,
+                              double fault_rate = 0.3);
+
+  const Fault& at(std::size_t send_index) const {
+    static const Fault kClean{};
+    return send_index < per_send_.size() ? per_send_[send_index] : kClean;
+  }
+
+  std::size_t planned_sends() const { return per_send_.size(); }
+
+ private:
+  std::vector<Fault> per_send_;
+};
+
+/// Two connected endpoints: first's sends arrive at second (suffering
+/// `first_to_second`), and vice versa. Either endpoint outliving the
+/// other is fine — channels are shared and jointly owned.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_sim_pair(FaultSchedule first_to_second = {},
+              FaultSchedule second_to_first = {});
+
+}  // namespace comet::net

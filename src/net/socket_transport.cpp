@@ -1,0 +1,162 @@
+#include "net/socket_transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/contract.h"
+
+namespace comet::net {
+
+namespace {
+
+// timeout_ns → poll(2) milliseconds, rounding up so a 1ns deadline still
+// polls (0 would busy-spin through the caller's retry loop).
+int poll_timeout_ms(std::uint64_t timeout_ns) {
+  if (timeout_ns == kNoTimeout) return -1;
+  const std::uint64_t ms = (timeout_ns + 999'999) / 1'000'000;
+  constexpr std::uint64_t kMaxPollMs = 1u << 30;
+  return static_cast<int>(ms < kMaxPollMs ? ms : kMaxPollMs);
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(int fd) : fd_(fd) {
+  COMET_CHECK_MSG(fd >= 0, "SocketTransport: invalid fd " << fd);
+}
+
+SocketTransport::~SocketTransport() {
+  close();
+  ::close(fd_);
+}
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+SocketTransport::make_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw_errno("socketpair");
+  }
+  return {std::make_unique<SocketTransport>(fds[0]),
+          std::make_unique<SocketTransport>(fds[1])};
+}
+
+void SocketTransport::send(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      throw DisconnectedError("SocketTransport: peer closed during send");
+    }
+    throw_errno("SocketTransport: send");
+  }
+}
+
+std::size_t SocketTransport::recv(std::span<std::uint8_t> buf,
+                                  std::uint64_t timeout_ns) {
+  if (buf.empty()) return 0;
+  struct pollfd pfd {};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, poll_timeout_ms(timeout_ns));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("SocketTransport: poll");
+    }
+    if (ready == 0) {
+      throw TimeoutError("SocketTransport: recv deadline elapsed");
+    }
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0) return 0;  // clean end of stream
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) {
+      throw DisconnectedError("SocketTransport: connection reset");
+    }
+    throw_errno("SocketTransport: recv");
+  }
+}
+
+void SocketTransport::close() {
+  // shutdown, not close: the fd stays valid (reclaimed by the destructor),
+  // so a concurrent recv() wakes with EOF instead of racing an fd reuse.
+  if (!shut_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
+}
+
+UnixListener::UnixListener(const std::string& path) : path_(path), fd_(-1) {
+  struct sockaddr_un addr {};
+  addr.sun_family = AF_UNIX;
+  COMET_CHECK_MSG(path.size() < sizeof(addr.sun_path),
+                  "unix socket path too long: " << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("UnixListener: socket");
+  ::unlink(path.c_str());  // stale socket file from a dead process
+  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(fd_, 16) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    throw_errno("UnixListener: bind/listen on " + path);
+  }
+}
+
+UnixListener::~UnixListener() {
+  ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+std::unique_ptr<Transport> UnixListener::accept(std::uint64_t timeout_ns) {
+  struct pollfd pfd {};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, poll_timeout_ms(timeout_ns));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("UnixListener: poll");
+    }
+    if (ready == 0) {
+      throw TimeoutError("UnixListener: accept deadline elapsed");
+    }
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) return std::make_unique<SocketTransport>(client);
+    if (errno == EINTR) continue;
+    throw_errno("UnixListener: accept");
+  }
+}
+
+std::unique_ptr<Transport> connect_unix(const std::string& path) {
+  struct sockaddr_un addr {};
+  addr.sun_family = AF_UNIX;
+  COMET_CHECK_MSG(path.size() < sizeof(addr.sun_path),
+                  "unix socket path too long: " << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("connect_unix: socket");
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect_unix: connect to " + path);
+  }
+  return std::make_unique<SocketTransport>(fd);
+}
+
+}  // namespace comet::net

@@ -30,7 +30,9 @@
 //   while (!stopping_ && queue_.empty()) cv_.wait(lock);
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 // Attribute spellings per the Clang thread-safety-analysis documentation
@@ -122,6 +124,17 @@ class CondVar {
   /// any condition variable, spurious wakeups happen: always wait in a
   /// `while (!condition)` loop.
   void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Timed wait: releases `lock`, blocks for at most `timeout_ns`, and
+  /// returns false on timeout (true on notify or spurious wakeup). The
+  /// explicit-while-loop discipline applies unchanged — callers recompute
+  /// their remaining deadline and re-test the condition on every wakeup
+  /// (see net::SimTransport::recv for the canonical shape). Timed against
+  /// the monotonic clock std::condition_variable::wait_for uses internally.
+  bool wait_for_ns(MutexLock& lock, std::uint64_t timeout_ns) {
+    return cv_.wait_for(lock.lock_, std::chrono::nanoseconds(timeout_ns)) ==
+           std::cv_status::no_timeout;
+  }
 
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }
