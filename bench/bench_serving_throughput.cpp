@@ -21,6 +21,7 @@
 // Overrides for CI fast smoke (env wins over argv):
 //   COMET_SERVE_WORKERS=2,4   (or argv[1])  worker counts to sweep
 //   COMET_SERVE_JOBS=4        (or argv[2])  number of requests to submit
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -31,9 +32,11 @@
 #include "bench/bench_common.h"
 #include "bhive/paper_blocks.h"
 #include "cost/crude_model.h"
+#include "obs/clock.h"
 #include "obs/metrics.h"
 #include "serve/isa_servers.h"
 #include "serve/remote_model.h"
+#include "serve/shed_policy.h"
 #include "sim/models.h"
 
 namespace cb = comet::bhive;
@@ -294,6 +297,94 @@ int main(int argc, char** argv) {
   run_mode("fused arm pulls", /*fuse=*/true, /*inflight=*/0);
   run_mode("async inflight=3", /*fuse=*/false, /*inflight=*/3);
   std::printf("%s\n", levers.to_string().c_str());
+
+  // ---- overload: priority lanes and load shedding under 2x load ----
+  // Offered load is 2x what the admission queue + workers hold at once,
+  // alternating interactive/batch. With shedding off, the whole backlog
+  // queues behind the bounded queue (backpressure) and interactive tail
+  // latency pays for every batch job ahead of it; with the watermark
+  // policy on, batch work is shed early (a typed refusal, never a silent
+  // drop — ok + shed always equals offered) and the interactive tail
+  // tightens. Goodput counts completed explanations only. Honors the
+  // same COMET_SERVE_WORKERS (last entry) / COMET_SERVE_JOBS overrides.
+  const std::size_t ov_workers = worker_counts.back();
+  const std::size_t ov_capacity = 2 * ov_workers;
+  const std::size_t ov_offered =
+      jobs_override != 0 ? jobs_override : 2 * (ov_capacity + ov_workers);
+  print_header("Overload: 2x offered load, shedding off vs on",
+               std::to_string(ov_offered) + " requests at " +
+                   std::to_string(ov_workers) + " workers, queue capacity " +
+                   std::to_string(ov_capacity) +
+                   ", interactive/batch alternating");
+  Table overload({"shedding", "wall ms", "ok", "shed", "goodput req/s",
+                  "interactive p50 ms", "interactive p99 ms"});
+  bool accounted = true;
+  for (const bool shed_on : {false, true}) {
+    cs::ServeOptions serve_options;
+    serve_options.workers = ov_workers;
+    serve_options.queue_capacity = ov_capacity;
+    if (shed_on) {
+      serve_options.shed_policy =
+          std::make_shared<const cs::WatermarkShedPolicy>();
+    }
+    cs::X86ExplanationServer server(serve_options);
+    server.register_model("crude-hsw", remote_crude);
+    server.register_model("oracle-hsw", remote_oracle);
+
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < ov_offered; ++i) {
+      const Request& r = requests[i % requests.size()];
+      cs::RequestOptions request;
+      request.lane = i % 2 == 0 ? cs::Lane::kInteractive : cs::Lane::kBatch;
+      if (request.lane == cs::Lane::kInteractive) {
+        // Generous enough that feasible work never expires; the deadline
+        // is what lets the saturation watermark judge feasibility.
+        request.deadline_ns =
+            comet::obs::steady_clock().now_ns() + 60ull * 1'000'000'000;
+      }
+      cc::CometOptions job = r.options;
+      job.seed = 1000 + i;  // distinct seeds: no hidden dedup
+      server.submit(r.key, r.block, job, request);
+    }
+    const auto results = server.drain();
+    const double wall_ms = ms_since(start);
+
+    std::size_t ok = 0;
+    std::size_t shed = 0;
+    std::size_t other = 0;
+    std::vector<double> interactive_ms;
+    for (const auto& served : results) {
+      if (cs::has_explanation(served.status)) {
+        ++ok;
+        if (served.lane == cs::Lane::kInteractive) {
+          interactive_ms.push_back(
+              static_cast<double>(served.trace.done_ns -
+                                  served.trace.admit_ns) /
+              1e6);
+        }
+      } else if (served.status == cs::ServeStatus::kShed) {
+        ++shed;
+      } else {
+        ++other;
+      }
+    }
+    accounted = accounted && other == 0 && ok + shed == ov_offered;
+    std::sort(interactive_ms.begin(), interactive_ms.end());
+    const auto pct = [&interactive_ms](double p) {
+      if (interactive_ms.empty()) return 0.0;
+      const auto idx = static_cast<std::size_t>(
+          p * static_cast<double>(interactive_ms.size() - 1) + 0.5);
+      return interactive_ms[std::min(idx, interactive_ms.size() - 1)];
+    };
+    overload.add_row({shed_on ? "watermark" : "off", Table::fmt(wall_ms, 1),
+                      std::to_string(ok), std::to_string(shed),
+                      Table::fmt(1000.0 * static_cast<double>(ok) / wall_ms,
+                                 2),
+                      Table::fmt(pct(0.50), 2), Table::fmt(pct(0.99), 2)});
+  }
+  std::printf("%s\n", overload.to_string().c_str());
+  std::printf("every offered request accounted (ok + shed == offered): %s\n",
+              accounted ? "yes" : "NO");
 
   return 0;
 }

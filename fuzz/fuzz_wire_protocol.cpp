@@ -46,6 +46,12 @@ void check_payload_roundtrip(const comet::net::Frame& frame) {
       case cn::MessageType::kStatsResponse:
         again = cn::encode_stats(cn::decode_stats(payload));
         break;
+      case cn::MessageType::kHealthCheck:
+        again = cn::encode_health_ping(cn::decode_health_ping(payload));
+        break;
+      case cn::MessageType::kHealthReply:
+        again = cn::encode_health_reply(cn::decode_health_reply(payload));
+        break;
       default:
         return;  // kStatsRequest / kShutdown payloads are opaque here
     }

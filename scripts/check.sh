@@ -21,6 +21,12 @@
 #                                     # COMET_FUZZ_SECS=N per-harness budget)
 #   scripts/check.sh --coverage       # line-coverage build + report with a
 #                                     # ratcheted floor (./build-cov)
+#   scripts/check.sh --chaos          # bounded seeded chaos pass: widened
+#                                     # fault/overload sweeps over the
+#                                     # serving + transport tests, re-run
+#                                     # under several fixed shuffle orders
+#                                     # (COMET_CHAOS_SEEDS schedules per
+#                                     # storm, COMET_CHAOS_ORDERS orders)
 #   COMET_CHECK_WERROR=1 scripts/check.sh   # promote warnings to errors
 set -euo pipefail
 
@@ -47,6 +53,7 @@ for arg in "$@"; do
     --lint)  MODE=lint ;;
     --fuzz)  MODE=fuzz ;;
     --coverage) MODE=coverage ;;
+    --chaos) MODE=chaos ;;
     *) echo "check.sh: unknown flag '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -94,9 +101,10 @@ case "$MODE" in
       exit 1
     fi
     cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve \
-      test_query_broker test_batch_parity test_obs test_net test_remote_shard
+      test_query_broker test_batch_parity test_obs test_net \
+      test_remote_shard test_traffic
     ctest --test-dir "$TSAN_DIR" --output-on-failure \
-      -R 'test_serve|test_query_broker|test_batch_parity|test_obs|test_net|test_remote_shard'
+      -R 'test_serve|test_query_broker|test_batch_parity|test_obs|test_net|test_remote_shard|test_traffic'
     echo "check.sh: tsan serving pass green"
     ;;
 
@@ -196,6 +204,35 @@ case "$MODE" in
     python3 scripts/coverage_report.py --build-dir "$COV_DIR" \
       --floor-file scripts/coverage_floor.txt
     echo "check.sh: coverage pass green"
+    ;;
+
+  chaos)
+    # Bounded seeded chaos pass over the fault-tolerant serving stack.
+    # COMET_CHAOS_SEEDS widens the seeded storms inside the tests (the
+    # remote-shard fault sweep runs that many extra schedules; the
+    # traffic-control chaos rounds run that many overload rounds), and
+    # each binary is re-run under COMET_CHAOS_ORDERS fixed gtest shuffle
+    # orders so test interleaving — not luck — is what varies. Every
+    # schedule is seeded, so any failure replays exactly.
+    [[ "$CLEAN" == "1" ]] && rm -rf "$BUILD_DIR"
+    cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+    CHAOS_TARGETS=$(cmake --build "$BUILD_DIR" --target help 2>/dev/null || true)
+    if ! grep -qw test_traffic <<<"$CHAOS_TARGETS"; then
+      echo "check.sh: GTest not found - chaos test targets unavailable" >&2
+      exit 1
+    fi
+    cmake --build "$BUILD_DIR" -j "$JOBS" --target \
+      test_remote_shard test_traffic test_serve test_net
+    CHAOS_SEEDS=${COMET_CHAOS_SEEDS:-12}
+    CHAOS_ORDERS=${COMET_CHAOS_ORDERS:-3}
+    for binary in test_remote_shard test_traffic test_serve test_net; do
+      for ((order = 1; order <= CHAOS_ORDERS; ++order)); do
+        echo "== chaos: $binary (seeds=$CHAOS_SEEDS, order=$order) =="
+        COMET_CHAOS_SEEDS="$CHAOS_SEEDS" "$BUILD_DIR/$binary" \
+          --gtest_shuffle --gtest_random_seed="$order"
+      done
+    done
+    echo "check.sh: chaos pass green"
     ;;
 
   plain)

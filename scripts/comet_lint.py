@@ -42,6 +42,16 @@ check:
                     request or corrupt cache file must be a catchable,
                     fuzz-observable report, never a process kill
                     (static_assert stays fine - it costs nothing at runtime).
+  unbounded-wait    No deadline-free wait()/recv() in src/serve/ + src/net/.
+                    Every blocking call in the serving and transport layers
+                    either carries a bound on the same statement (timeout_ns,
+                    a deadline expression, or a wait_for_ns variant) or is an
+                    explicitly annotated drain/backpressure contract. A
+                    blocking call nobody can name a wake-up for is how a
+                    wedged peer becomes a wedged server (PR 10 traffic
+                    controls). Zero-argument wait() calls are helper
+                    invocations - their blocking loop is linted where it is
+                    defined.
 
 Suppression: a finding is silenced by a comment on the same line or the
 line directly above it:
@@ -212,6 +222,14 @@ _RAW_ASSERT_RE = re.compile(r"(?<![\w:])(?:std::)?(?:assert|abort)\s*\(")
 # so a leading fread/fwrite there is not statement position.
 _CONTINUATION_END_RE = re.compile(r"[(&|+\-*/=,<>?:!%]\s*$")
 
+_UNBOUNDED_WAIT_RE = re.compile(r"\b(?:wait|recv)\s*\(")
+
+# A bound somewhere on the statement: an explicit timeout parameter, a
+# deadline expression, or one of the wait_for_* timed variants.
+_UNBOUNDED_WAIT_OK_RE = re.compile(r"\btimeout_ns\b|\bdeadline\w*\b|\bwait_for\w*\b")
+
+_STMT_END_RE = re.compile(r"[;{}]")
+
 
 def _grep_rule(pattern: re.Pattern, message: str):
     def check(relpath, raw_lines, scrubbed):
@@ -242,6 +260,55 @@ def _check_unchecked_io(relpath, raw_lines, scrubbed):
             )
         if line.strip():
             prev_code = line
+    return hits
+
+
+def _check_unbounded_wait(relpath, raw_lines, scrubbed):
+    del relpath, raw_lines
+    hits = []
+    reported = set()
+    for idx, line in enumerate(scrubbed):
+        if not _UNBOUNDED_WAIT_RE.search(line):
+            continue
+        # Walk back to the first line of the statement (a continuation
+        # suffix on the previous non-blank line means it flows into this
+        # one) so the finding - and its suppression comment - anchor where
+        # the statement starts.
+        start = idx
+        prev = start - 1
+        while prev >= 0 and not scrubbed[prev].strip():
+            prev -= 1
+        while prev >= 0 and _CONTINUATION_END_RE.search(scrubbed[prev]):
+            start = prev
+            prev -= 1
+            while prev >= 0 and not scrubbed[prev].strip():
+                prev -= 1
+        # Walk forward to the end of the statement (bounded lookahead).
+        end = idx
+        limit = min(len(scrubbed) - 1, idx + 8)
+        while end < limit and not _STMT_END_RE.search(scrubbed[end]):
+            end += 1
+        stmt = " ".join(scrubbed[i] for i in range(start, end + 1))
+        if _UNBOUNDED_WAIT_OK_RE.search(stmt):
+            continue
+        # Zero-argument wait()/recv() is a helper call (e.g. a countdown
+        # latch); the actual blocking loop is linted at its definition.
+        flagged = False
+        for match in _UNBOUNDED_WAIT_RE.finditer(stmt):
+            if not re.match(r"\s*\)", stmt[match.end():]):
+                flagged = True
+                break
+        if not flagged or start in reported:
+            continue
+        reported.add(start)
+        hits.append(
+            (
+                start,
+                "blocking wait/recv with no bound on the statement - pass a "
+                "timeout/deadline (wait_for_ns, timeout_ns) or annotate the "
+                "documented drain/backpressure contract",
+            )
+        )
     return hits
 
 
@@ -357,6 +424,14 @@ RULES = [
             "non-monotonic/unmockable clock - use obs::Clock (steady, "
             "injectable; see src/obs/clock.h)",
         ),
+    ),
+    Rule(
+        "unbounded-wait",
+        "no deadline-free wait()/recv() in src/serve/ + src/net/ - every "
+        "blocking call carries a timeout/deadline on its statement or an "
+        "annotated drain/backpressure contract",
+        lambda p: p.startswith(("src/serve/", "src/net/")),
+        _check_unbounded_wait,
     ),
     Rule(
         "raw-assert",

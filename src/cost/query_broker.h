@@ -138,6 +138,25 @@ class QueryBroker {
   void reset_stats() { stats_ = QueryStats{}; }
   const Model& model() const { return *model_; }
 
+  /// Drop every memo entry whose key fails `pred` (signature:
+  /// bool(const std::string&)). Used when a sharded pool re-shards the
+  /// hash space: entries that now route to a different shard are evicted
+  /// so a stale local copy can never shadow the owning shard's. Like
+  /// every other method, must run on the thread that owns this broker.
+  template <typename Pred>
+  void retain_memo_if(Pred pred) {
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      if (pred(it->first)) {
+        ++it;
+      } else {
+        it = cache_.erase(it);
+      }
+    }
+  }
+
+  /// Live memo-entry count (observability for re-shard tests).
+  std::size_t memo_size() const { return cache_.size(); }
+
  private:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 

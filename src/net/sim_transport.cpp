@@ -80,6 +80,9 @@ class SimEndpoint final : public Transport {
     util::MutexLock lock(in_->mutex);
     while (in_->bytes.empty() && !in_->closed) {
       if (timeout_ns == kNoTimeout) {
+        // The caller chose kNoTimeout; close() from any thread still
+        // wakes this wait.
+        // comet-lint: allow(unbounded-wait)
         in_->cv.wait(lock);
         continue;
       }

@@ -80,6 +80,9 @@ std::size_t SocketTransport::recv(std::span<std::uint8_t> buf,
     if (ready == 0) {
       throw TimeoutError("SocketTransport: recv deadline elapsed");
     }
+    // poll() above already enforced the deadline; by the time we recv(2),
+    // bytes (or EOF) are ready.
+    // comet-lint: allow(unbounded-wait)
     const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
     if (n > 0) return static_cast<std::size_t>(n);
     if (n == 0) return 0;  // clean end of stream

@@ -13,6 +13,10 @@ namespace {
 // and COMET_CHECKs every advance, so a truncated or forged payload throws
 // before any out-of-range access or oversized allocation.
 
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
   out.push_back(static_cast<std::uint8_t>(v >> 8));
@@ -40,6 +44,11 @@ void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
 class Reader {
  public:
   explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    require(1);
+    return bytes_[pos_++];
+  }
 
   std::uint16_t u16() {
     require(2);
@@ -107,7 +116,7 @@ std::uint32_t payload_checksum(std::span<const std::uint8_t> payload) {
 
 bool is_valid_message_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MessageType::kPredictRequest) &&
-         raw <= static_cast<std::uint8_t>(MessageType::kShutdown);
+         raw <= static_cast<std::uint8_t>(MessageType::kHealthReply);
 }
 
 std::vector<std::uint8_t> encode_frame(const Frame& frame) {
@@ -200,7 +209,11 @@ std::optional<Frame> FrameAssembler::poll() {
 std::vector<std::uint8_t> encode_predict_request(const PredictRequest& req) {
   COMET_CHECK_MSG(req.block_texts.size() <= kMaxPayload,
                   "request too large: " << req.block_texts.size());
+  COMET_CHECK_MSG(req.priority <= PredictRequest::kMaxPriority,
+                  "invalid priority: " << int{req.priority});
   std::vector<std::uint8_t> out;
+  put_u8(out, req.priority);
+  put_u64(out, req.deadline_ns);
   put_u32(out, static_cast<std::uint32_t>(req.block_texts.size()));
   for (const auto& text : req.block_texts) put_string(out, text);
   return out;
@@ -208,12 +221,16 @@ std::vector<std::uint8_t> encode_predict_request(const PredictRequest& req) {
 
 PredictRequest decode_predict_request(std::span<const std::uint8_t> bytes) {
   Reader reader(bytes);
+  PredictRequest req;
+  req.priority = reader.u8();
+  COMET_CHECK_MSG(req.priority <= PredictRequest::kMaxPriority,
+                  "invalid priority: " << int{req.priority});
+  req.deadline_ns = reader.u64();
   const std::uint32_t count = reader.u32();
   // Each block costs at least a 4-byte length; reject forged counts before
   // reserving anything.
   COMET_CHECK_MSG(count <= reader.remaining() / 4,
                   "forged block count: " << count);
-  PredictRequest req;
   req.block_texts.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     req.block_texts.push_back(reader.string());
@@ -259,6 +276,36 @@ ErrorBody decode_error(std::span<const std::uint8_t> bytes) {
   error.message = reader.string();
   reader.expect_end();
   return error;
+}
+
+std::vector<std::uint8_t> encode_health_ping(const HealthPing& ping) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, ping.nonce);
+  return out;
+}
+
+HealthPing decode_health_ping(std::span<const std::uint8_t> bytes) {
+  Reader reader(bytes);
+  HealthPing ping;
+  ping.nonce = reader.u64();
+  reader.expect_end();
+  return ping;
+}
+
+std::vector<std::uint8_t> encode_health_reply(const HealthReply& reply) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, reply.nonce);
+  put_u64(out, reply.requests_served);
+  return out;
+}
+
+HealthReply decode_health_reply(std::span<const std::uint8_t> bytes) {
+  Reader reader(bytes);
+  HealthReply reply;
+  reply.nonce = reader.u64();
+  reply.requests_served = reader.u64();
+  reader.expect_end();
+  return reply;
 }
 
 std::vector<std::uint8_t> encode_stats(const cost::QueryStats& stats) {

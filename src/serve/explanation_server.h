@@ -17,6 +17,25 @@
 // explained before the workers join, and drain() lets callers wait for
 // exactly that without destroying the server.
 //
+// Traffic controls: every submission carries a RequestOptions — a lane
+// (interactive vs. batch) and an optional absolute deadline on the
+// server's clock. The admission queue is two-lane and deadline-aware:
+// work that is already expired is rejected at admit time, queued work
+// whose deadline passes before a worker picks it up is expired without
+// running, and both cases surface as typed Served results
+// (ServeStatus::kDeadlineExceeded*) — never a silent drop. Workers
+// dequeue interactive-lane work first; an anti-starvation credit hands
+// the batch lane one dequeue in every ServeOptions::batch_credit_every.
+// A pluggable ShedPolicy (ServeOptions::shed_policy) can refuse work at
+// admission when the queue saturates (ServeStatus::kShed), shedding
+// batch-lane and deadline-infeasible jobs first; sheds are counted per
+// lane in the metrics registry. Deadlines gate *whether* a job runs,
+// never how it runs: an explanation that completes — even one finishing
+// past its deadline, delivered as ServeStatus::kLate — is bit-identical
+// to the sequential path. Deadline checks are the one scheduling-side
+// clock use, and they read the same injectable obs::Clock as the
+// metrics, so tests drive them with an obs::ManualClock.
+//
 // Determinism: each job's engine owns its RNG, seeded from the job's
 // options and block (see AnchorEngine::explain), and each job's broker is
 // private to the worker running it, so a served explanation is
@@ -43,6 +62,7 @@
 // ready-made aliases.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -59,6 +79,7 @@
 #include "cost/query_stats.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "serve/shed_policy.h"
 #include "util/sync.h"
 
 namespace comet::serve {
@@ -69,12 +90,60 @@ struct ServeOptions {
   /// Collect lifecycle metrics and request traces (counters/gauges update,
   /// latency histograms fill, Served::trace is stamped). Off = zero clock
   /// reads and untouched instruments; explanations are bit-identical
-  /// either way.
+  /// either way. (Jobs with deadlines read the clock regardless — the
+  /// deadline decides whether the job runs at all.)
   bool metrics = true;
-  /// Time source for metrics and traces; nullptr = obs::steady_clock().
-  /// Tests inject an obs::ManualClock for deterministic latency
-  /// assertions. Must outlive the server.
+  /// Time source for metrics, traces, and deadline checks; nullptr =
+  /// obs::steady_clock(). Tests inject an obs::ManualClock for
+  /// deterministic latency and expiry assertions. Must outlive the
+  /// server.
   const obs::Clock* clock = nullptr;
+  /// Anti-starvation: with both lanes non-empty, one dequeue in every
+  /// `batch_credit_every` goes to the batch lane (the rest are
+  /// interactive-first). 0 is treated as 1 (strict alternation is the
+  /// floor; the batch lane can never starve outright).
+  std::size_t batch_credit_every = 4;
+  /// Admission-time load shedding; nullptr = never shed (bounded-queue
+  /// backpressure only). Must be const-thread-safe.
+  std::shared_ptr<const ShedPolicy> shed_policy = nullptr;
+};
+
+/// How a submission left the server. Only kOk and kLate carry a valid
+/// explanation; the other statuses are typed refusals (the job never
+/// ran), delivered through the same next()/drain() stream so no
+/// accepted ticket is ever silently dropped.
+enum class ServeStatus : std::uint8_t {
+  kOk = 0,                    ///< ran to completion (within deadline, if any)
+  kLate = 1,                  ///< ran to completion but past its deadline
+  kDeadlineExceededAtAdmit = 2,  ///< already expired when submitted
+  kDeadlineExceededInQueue = 3,  ///< expired while queued; never ran
+  kShed = 4,                  ///< refused by the ShedPolicy at admission
+};
+
+/// True when a Served with this status carries a usable explanation.
+constexpr bool has_explanation(ServeStatus status) {
+  return status == ServeStatus::kOk || status == ServeStatus::kLate;
+}
+
+inline const char* serve_status_name(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kLate: return "late";
+    case ServeStatus::kDeadlineExceededAtAdmit: return "expired_at_admit";
+    case ServeStatus::kDeadlineExceededInQueue: return "expired_in_queue";
+    case ServeStatus::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+/// Per-request traffic class, passed alongside the block and engine
+/// options at submission.
+struct RequestOptions {
+  Lane lane = Lane::kInteractive;
+  /// Absolute deadline on the server's clock (ServeOptions::clock), in
+  /// ns; 0 = none. Advisory for scheduling only — it never changes the
+  /// bits of an explanation that completes.
+  std::uint64_t deadline_ns = 0;
 };
 
 /// Request-lifecycle timestamps (obs::Clock readings, ns). All zero when
@@ -99,12 +168,16 @@ class ExplanationServer {
   using Explanation = typename Traits::Explanation;
   using Engine = core::AnchorEngine<Traits>;
 
-  /// One delivered result.
+  /// One delivered result. Check `status` first: only
+  /// has_explanation(status) results carry a valid explanation.
   struct Served {
     std::uint64_t id = 0;     ///< submission ticket
     std::string model_key;    ///< which registered model served it
     Explanation explanation;  ///< bit-identical to the sequential path
     RequestTrace trace;       ///< lifecycle timestamps (metrics on only)
+    ServeStatus status = ServeStatus::kOk;
+    Lane lane = Lane::kInteractive;
+    std::uint64_t deadline_ns = 0;  ///< echo of the request's deadline
   };
 
   explicit ExplanationServer(ServeOptions options = {})
@@ -144,29 +217,54 @@ class ExplanationServer {
 
   /// Blocking submit: waits for queue space (backpressure), returns the
   /// job's ticket. Throws std::out_of_range for an unregistered key.
+  /// Expired or shed work is *accepted* (a ticket is issued) but resolves
+  /// instantly to a typed Served result instead of queueing.
   std::uint64_t submit(const std::string& model_key, Block block,
-                       Options options) COMET_EXCLUDES(mutex_) {
+                       Options options, RequestOptions request = {})
+      COMET_EXCLUDES(mutex_) {
     util::MutexLock lock(mutex_);
     std::shared_ptr<const Model> model = lookup(model_key);
-    if (options_.metrics && queue_.size() >= options_.queue_capacity) {
+    if (const auto verdict = admission_verdict(request)) {
+      return finish_rejected(model_key, request, *verdict);
+    }
+    if (options_.metrics && queued() >= options_.queue_capacity) {
       submit_blocked_.increment();  // producer is about to feel backpressure
     }
-    while (queue_.size() >= options_.queue_capacity) cv_space_.wait(lock);
+    // Backpressure is deliberately unbounded: the producer asked to
+    // block until the queue has room.
+    // comet-lint: allow(unbounded-wait)
+    while (queued() >= options_.queue_capacity) cv_space_.wait(lock);
+    // The deadline may have passed while this producer was parked.
+    if (request.deadline_ns != 0 && clock_.now_ns() >= request.deadline_ns) {
+      return finish_rejected(model_key, request,
+                             ServeStatus::kDeadlineExceededAtAdmit);
+    }
     return enqueue(model_key, std::move(model), std::move(block),
-                   std::move(options));
+                   std::move(options), request);
   }
 
   /// Non-blocking submit: false (and no ticket) when the queue is full.
+  /// Expired or shed work still resolves to a typed Served result (true
+  /// is returned and a ticket issued — the refusal arrives via
+  /// next()/drain()).
   bool try_submit(const std::string& model_key, Block block, Options options,
-                  std::uint64_t* id = nullptr) COMET_EXCLUDES(mutex_) {
+                  std::uint64_t* id = nullptr, RequestOptions request = {})
+      COMET_EXCLUDES(mutex_) {
     util::MutexLock lock(mutex_);
     std::shared_ptr<const Model> model = lookup(model_key);
-    if (queue_.size() >= options_.queue_capacity) {
+    if (const auto verdict = admission_verdict(request)) {
+      const std::uint64_t ticket =
+          finish_rejected(model_key, request, *verdict);
+      if (id != nullptr) *id = ticket;
+      return true;
+    }
+    if (queued() >= options_.queue_capacity) {
       if (options_.metrics) try_submit_rejected_.increment();
       return false;
     }
     const std::uint64_t ticket = enqueue(model_key, std::move(model),
-                                         std::move(block), std::move(options));
+                                         std::move(block), std::move(options),
+                                         request);
     if (id != nullptr) *id = ticket;
     return true;
   }
@@ -178,6 +276,9 @@ class ExplanationServer {
     std::optional<Served> served;
     {
       util::MutexLock lock(mutex_);
+      // Graceful-drain contract: every accepted job completes, so this
+      // wait always terminates.
+      // comet-lint: allow(unbounded-wait)
       while (completed_.empty() && outstanding_ != 0) cv_done_.wait(lock);
       if (completed_.empty()) return std::nullopt;
       served = std::move(completed_.front());
@@ -193,6 +294,9 @@ class ExplanationServer {
     std::vector<Served> out;
     {
       util::MutexLock lock(mutex_);
+      // Graceful-drain contract: every accepted job completes, so this
+      // wait always terminates.
+      // comet-lint: allow(unbounded-wait)
       while (outstanding_ != 0) cv_done_.wait(lock);
       out.reserve(completed_.size());
       for (auto& served : completed_) out.push_back(std::move(served));
@@ -224,10 +328,12 @@ class ExplanationServer {
 
   /// The server's metrics registry: serve_submitted / serve_completed /
   /// serve_submit_blocked / serve_try_submit_rejected counters, live
-  /// serve_queue_depth / serve_outstanding gauges, the
-  /// serve_deliver_wait_ns histogram, and per-model-key
-  /// serve_queue_wait_ns{model_key=...} / serve_run_ns{model_key=...}
-  /// latency histograms.
+  /// serve_queue_depth / serve_outstanding gauges (plus per-lane
+  /// serve_lane_depth{lane=...}), the serve_deliver_wait_ns histogram,
+  /// per-model-key serve_queue_wait_ns{model_key=...} /
+  /// serve_run_ns{model_key=...} latency histograms, and the traffic-
+  /// control counters: serve_deadline_expired{stage="admit"|"queue"},
+  /// serve_deadline_late, and serve_shed{lane="interactive"|"batch"}.
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Prometheus-style text exposition of every instrument (scrape body).
@@ -245,6 +351,8 @@ class ExplanationServer {
     Block block;
     Options options;
     std::uint64_t admit_ns = 0;  ///< obs::Clock stamp at admission
+    Lane lane = Lane::kInteractive;
+    std::uint64_t deadline_ns = 0;  ///< absolute, server clock; 0 = none
   };
 
   // Resolves the model at admission time so workers never touch the
@@ -260,10 +368,84 @@ class ExplanationServer {
     return it->second;
   }
 
+  std::size_t queued() const COMET_REQUIRES(mutex_) {
+    return lanes_[0].size() + lanes_[1].size();
+  }
+
+  std::deque<Request>& lane_queue(Lane lane) COMET_REQUIRES(mutex_) {
+    return lanes_[static_cast<std::size_t>(lane)];
+  }
+
+  // Instant admission refusals: already expired, or refused by the shed
+  // policy. nullopt = admit normally. The clock is read only when the
+  // request actually carries a deadline.
+  std::optional<ServeStatus> admission_verdict(const RequestOptions& request)
+      COMET_REQUIRES(mutex_) {
+    std::uint64_t now = 0;
+    if (request.deadline_ns != 0) {
+      now = clock_.now_ns();
+      if (now >= request.deadline_ns) {
+        return ServeStatus::kDeadlineExceededAtAdmit;
+      }
+    }
+    if (options_.shed_policy != nullptr) {
+      ShedContext context;
+      context.queue_depth = queued();
+      context.queue_capacity = options_.queue_capacity;
+      context.lane = request.lane;
+      context.has_deadline = request.deadline_ns != 0;
+      context.deadline_slack_ns =
+          request.deadline_ns != 0 ? request.deadline_ns - now : 0;
+      context.submit_blocked =
+          static_cast<std::uint64_t>(submit_blocked_.value());
+      context.try_submit_rejected =
+          static_cast<std::uint64_t>(try_submit_rejected_.value());
+      if (options_.shed_policy->should_shed(context)) {
+        return ServeStatus::kShed;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // A refusal still gets a ticket and a typed Served result on the
+  // completion stream — never a silent drop. The job never touches
+  // outstanding_ (it was never queued), but cv_done_ wakes consumers
+  // parked in next()/drain().
+  std::uint64_t finish_rejected(const std::string& model_key,
+                                const RequestOptions& request,
+                                ServeStatus status) COMET_REQUIRES(mutex_) {
+    const std::uint64_t ticket = next_id_++;
+    Served served;
+    served.id = ticket;
+    served.model_key = model_key;
+    served.status = status;
+    served.lane = request.lane;
+    served.deadline_ns = request.deadline_ns;
+    if (options_.metrics) {
+      submitted_.increment();
+      served.trace.admit_ns = clock_.now_ns();
+      if (status == ServeStatus::kShed) {
+        metrics_
+            .counter(obs::MetricsRegistry::labeled("serve_shed", "lane",
+                                                   lane_name(request.lane)))
+            .increment();
+      } else {
+        metrics_
+            .counter(obs::MetricsRegistry::labeled("serve_deadline_expired",
+                                                   "stage", "admit"))
+            .increment();
+      }
+    }
+    completed_.push_back(std::move(served));
+    cv_done_.notify_all();
+    return ticket;
+  }
+
   // Caller has verified queue space (and, per the annotation, holds mutex_).
   std::uint64_t enqueue(const std::string& model_key,
                         std::shared_ptr<const Model> model, Block block,
-                        Options options) COMET_REQUIRES(mutex_) {
+                        Options options, const RequestOptions& request_options)
+      COMET_REQUIRES(mutex_) {
     const std::uint64_t ticket = next_id_++;
     Request request;
     request.id = ticket;
@@ -271,18 +453,46 @@ class ExplanationServer {
     request.model = std::move(model);
     request.block = std::move(block);
     request.options = std::move(options);
+    request.lane = request_options.lane;
+    request.deadline_ns = request_options.deadline_ns;
     if (options_.metrics) {
       request.admit_ns = clock_.now_ns();
       submitted_.increment();
     }
-    queue_.push_back(std::move(request));
+    lane_queue(request.lane).push_back(std::move(request));
     ++outstanding_;
     if (options_.metrics) {
-      queue_depth_.set(static_cast<double>(queue_.size()));
+      queue_depth_.set(static_cast<double>(queued()));
+      lane_depth(request_options.lane)
+          .set(static_cast<double>(lane_queue(request_options.lane).size()));
       outstanding_gauge_.set(static_cast<double>(outstanding_));
     }
     cv_work_.notify_one();
     return ticket;
+  }
+
+  // Which lane the next free worker should serve. Interactive first;
+  // with both lanes waiting, one dequeue in every batch_credit_every is
+  // batch (anti-starvation). A batch dequeue resets the credit either
+  // way, so an idle period can't bank more than one batch turn.
+  Lane pick_lane() COMET_REQUIRES(mutex_) {
+    const bool interactive = !lane_queue(Lane::kInteractive).empty();
+    const bool batch = !lane_queue(Lane::kBatch).empty();
+    if (interactive && batch) {
+      const std::size_t every =
+          options_.batch_credit_every == 0 ? 1 : options_.batch_credit_every;
+      if (batch_credit_ + 1 >= every) {
+        batch_credit_ = 0;
+        return Lane::kBatch;
+      }
+      ++batch_credit_;
+      return Lane::kInteractive;
+    }
+    if (batch) {
+      batch_credit_ = 0;
+      return Lane::kBatch;
+    }
+    return Lane::kInteractive;
   }
 
   // Delivery stamp: the last lifecycle timestamp, taken as the result
@@ -299,24 +509,60 @@ class ExplanationServer {
       Request request;
       {
         util::MutexLock lock(mutex_);
-        while (!stopping_ && queue_.empty()) cv_work_.wait(lock);
-        if (queue_.empty()) return;  // stopping and fully drained
-        request = std::move(queue_.front());
-        queue_.pop_front();
+        // Worker parking loop; woken by new work or shutdown, both of
+        // which always arrive.
+        // comet-lint: allow(unbounded-wait)
+        while (!stopping_ && queued() == 0) cv_work_.wait(lock);
+        if (queued() == 0) return;  // stopping and fully drained
+        const Lane lane = pick_lane();
+        request = std::move(lane_queue(lane).front());
+        lane_queue(lane).pop_front();
         if (options_.metrics) {
-          queue_depth_.set(static_cast<double>(queue_.size()));
+          queue_depth_.set(static_cast<double>(queued()));
+          lane_depth(lane).set(
+              static_cast<double>(lane_queue(lane).size()));
         }
         cv_space_.notify_one();
+      }
+      Served served;
+      served.id = request.id;
+      served.model_key = std::move(request.model_key);
+      served.lane = request.lane;
+      served.deadline_ns = request.deadline_ns;
+      served.trace.admit_ns = request.admit_ns;
+      // Queue expiry: the deadline passed while the job waited for a
+      // worker. Typed result, no engine run. (Clock read gated on the
+      // deadline's presence, like every deadline check.)
+      std::uint64_t dequeue_now = 0;
+      if (request.deadline_ns != 0) {
+        dequeue_now = clock_.now_ns();
+        if (dequeue_now >= request.deadline_ns) {
+          served.status = ServeStatus::kDeadlineExceededInQueue;
+          if (options_.metrics) {
+            served.trace.start_ns = dequeue_now;
+            served.trace.done_ns = dequeue_now;
+            completed_count_.increment();
+            metrics_
+                .counter(obs::MetricsRegistry::labeled(
+                    "serve_deadline_expired", "stage", "queue"))
+                .increment();
+          }
+          finish(std::move(served), /*ran=*/false);
+          continue;
+        }
       }
       // The engine references the request's model and options for the
       // duration of the run; both live in `request` on this stack frame.
       Engine engine(*request.model, request.options);
-      Served served;
-      served.id = request.id;
-      served.model_key = std::move(request.model_key);
-      served.trace.admit_ns = request.admit_ns;
       if (options_.metrics) served.trace.start_ns = clock_.now_ns();
       served.explanation = engine.explain(request.block);
+      // Run expiry is only a label: the explanation completed, so it is
+      // delivered (bit-identical to sequential) — just marked late.
+      if (request.deadline_ns != 0 &&
+          clock_.now_ns() >= request.deadline_ns) {
+        served.status = ServeStatus::kLate;
+        if (options_.metrics) deadline_late_.increment();
+      }
       if (options_.metrics) {
         served.trace.done_ns = clock_.now_ns();
         completed_count_.increment();
@@ -331,17 +577,23 @@ class ExplanationServer {
                 "serve_run_ns", "model_key", served.model_key))
             .record(served.trace.run_ns());
       }
-      {
-        util::MutexLock lock(mutex_);
-        stats_[served.model_key] += served.explanation.query_stats;
-        completed_.push_back(std::move(served));
-        --outstanding_;
-        if (options_.metrics) {
-          outstanding_gauge_.set(static_cast<double>(outstanding_));
-        }
-      }
-      cv_done_.notify_all();
+      finish(std::move(served), /*ran=*/true);
     }
+  }
+
+  // Completion-side bookkeeping shared by the ran and expired-in-queue
+  // paths: publish the result, retire the ticket, wake consumers.
+  void finish(Served served, bool ran) COMET_EXCLUDES(mutex_) {
+    {
+      util::MutexLock lock(mutex_);
+      if (ran) stats_[served.model_key] += served.explanation.query_stats;
+      completed_.push_back(std::move(served));
+      --outstanding_;
+      if (options_.metrics) {
+        outstanding_gauge_.set(static_cast<double>(outstanding_));
+      }
+    }
+    cv_done_.notify_all();
   }
 
   ServeOptions options_;     // immutable after construction
@@ -359,13 +611,26 @@ class ExplanationServer {
   obs::Gauge& outstanding_gauge_ = metrics_.gauge("serve_outstanding");
   obs::Histogram& deliver_wait_ns_ =
       metrics_.histogram("serve_deliver_wait_ns");
+  obs::Counter& deadline_late_ = metrics_.counter("serve_deadline_late");
+  obs::Gauge& interactive_depth_ = metrics_.gauge(
+      obs::MetricsRegistry::labeled("serve_lane_depth", "lane", "interactive"));
+  obs::Gauge& batch_depth_ = metrics_.gauge(
+      obs::MetricsRegistry::labeled("serve_lane_depth", "lane", "batch"));
+
+  obs::Gauge& lane_depth(Lane lane) {
+    return lane == Lane::kInteractive ? interactive_depth_ : batch_depth_;
+  }
+
   mutable util::Mutex mutex_;
   util::CondVar cv_work_;   // queue gained work / stopping
   util::CondVar cv_space_;  // queue gained space
   util::CondVar cv_done_;   // a job completed
   std::map<std::string, std::shared_ptr<const Model>> models_
       COMET_GUARDED_BY(mutex_);
-  std::deque<Request> queue_ COMET_GUARDED_BY(mutex_);
+  /// Two-lane admission queue, indexed by Lane; queue_capacity bounds the
+  /// lanes' combined size.
+  std::array<std::deque<Request>, 2> lanes_ COMET_GUARDED_BY(mutex_);
+  std::size_t batch_credit_ COMET_GUARDED_BY(mutex_) = 0;
   std::deque<Served> completed_ COMET_GUARDED_BY(mutex_);
   std::map<std::string, cost::QueryStats> stats_ COMET_GUARDED_BY(mutex_);
   std::size_t outstanding_ COMET_GUARDED_BY(mutex_) = 0;

@@ -1,0 +1,74 @@
+#include "serve/fallback_chain.h"
+
+#include <utility>
+
+#include "net/transport.h"
+#include "util/contract.h"
+
+namespace comet::serve {
+
+FallbackChain::FallbackChain(std::vector<Tier> tiers)
+    : tiers_(std::move(tiers)) {
+  COMET_CHECK_MSG(!tiers_.empty(), "FallbackChain needs at least one tier");
+  for (const Tier& tier : tiers_) {
+    COMET_CHECK_MSG(tier.model != nullptr,
+                    "FallbackChain tier '" << tier.label << "' has no model");
+  }
+  util::MutexLock lock(mutex_);
+  counters_.resize(tiers_.size());
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    counters_[t].label = tiers_[t].label;
+  }
+}
+
+void FallbackChain::predict_batch(std::span<const x86::BasicBlock> blocks,
+                                  std::span<double> out) const {
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    {
+      util::MutexLock lock(mutex_);
+      ++counters_[t].attempts;
+    }
+    try {
+      tiers_[t].model->predict_batch(blocks, out);
+      util::MutexLock lock(mutex_);
+      ++counters_[t].successes;
+      return;
+    } catch (const net::CancelledError&) {
+      throw;  // the caller cancelled; never failed over
+    } catch (const net::TransportError&) {
+      util::MutexLock lock(mutex_);
+      ++counters_[t].errors;
+      if (t + 1 == tiers_.size()) throw;  // nothing left to degrade to
+    } catch (const util::ContractViolation&) {
+      // Peer-contract breakage (a malformed reply) is a transport-class
+      // failure here, same as in RemoteShardClient.
+      util::MutexLock lock(mutex_);
+      ++counters_[t].errors;
+      if (t + 1 == tiers_.size()) throw;
+    }
+  }
+}
+
+double FallbackChain::predict(const x86::BasicBlock& block) const {
+  double out = 0.0;
+  predict_batch(std::span<const x86::BasicBlock>(&block, 1),
+                std::span<double>(&out, 1));
+  return out;
+}
+
+std::string FallbackChain::name() const {
+  std::string name = "fallback(";
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    if (t != 0) name += "->";
+    name += tiers_[t].label;
+  }
+  name += ")";
+  return name;
+}
+
+std::vector<FallbackChain::TierCounters> FallbackChain::tier_counters() const {
+  util::MutexLock lock(mutex_);
+  return counters_;
+}
+
+}  // namespace comet::serve

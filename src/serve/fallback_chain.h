@@ -1,0 +1,76 @@
+// FallbackChain: graceful degradation for the cost-model layer.
+//
+// An ordered chain of cost-model tiers — typically remote shards → a
+// local replica → the crude analytical model — presented as one
+// cost::CostModel. Every predict/predict_batch walks the tiers in order:
+// the first tier to answer wins; a tier that fails with a transport-
+// class error (net::TransportError and subclasses, or a peer-contract
+// util::ContractViolation) is recorded and the next tier is tried. A
+// fully partitioned deployment therefore still answers — with a
+// documented lower-fidelity tier — instead of throwing at the engine.
+//
+// What is NOT failed over, matching RemoteShardClient's semantics:
+// net::CancelledError (the caller asked to stop; obeying it is not a
+// failure) and non-transport exceptions (a model bug must surface, not
+// be papered over by a lower tier). If the *last* tier fails, its error
+// propagates — there is nothing left to degrade to.
+//
+// Determinism caveat, stated up front: tiers are different models, so a
+// result served by tier k is bit-identical to *that tier's* sequential
+// result, not to tier 0's. Deployments that need strict bit-parity with
+// the primary (the serving determinism tests) must make every tier the
+// same model-by-construction (e.g. remote shard and local replica built
+// from the same checkpoint — exactly how the tests wire it).
+//
+// Per-tier accounting (attempts/successes/errors) is guarded state,
+// snapshotted via tier_counters(); the chain itself is const-thread-safe
+// as long as every tier is.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "util/sync.h"
+
+namespace comet::serve {
+
+class FallbackChain final : public cost::CostModel {
+ public:
+  struct Tier {
+    std::string label;  ///< e.g. "remote", "replica", "crude"
+    std::shared_ptr<const cost::CostModel> model;
+  };
+
+  struct TierCounters {
+    std::string label;
+    std::uint64_t attempts = 0;   ///< batches routed to this tier
+    std::uint64_t successes = 0;  ///< batches it answered
+    std::uint64_t errors = 0;     ///< transport-class failures (failed over)
+  };
+
+  /// At least one tier; tier 0 is the preferred (highest-fidelity) one.
+  explicit FallbackChain(std::vector<Tier> tiers);
+
+  double predict(const x86::BasicBlock& block) const override;
+  void predict_batch(std::span<const x86::BasicBlock> blocks,
+                     std::span<double> out) const override;
+  /// "fallback(remote->replica->crude)".
+  std::string name() const override;
+
+  std::size_t tier_count() const { return tiers_.size(); }
+
+  /// Per-tier accounting, in chain order.
+  std::vector<TierCounters> tier_counters() const;
+
+ private:
+  std::vector<Tier> tiers_;
+  mutable util::Mutex mutex_;
+  mutable std::vector<TierCounters> counters_ COMET_GUARDED_BY(mutex_);
+};
+
+}  // namespace comet::serve

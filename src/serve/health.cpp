@@ -1,0 +1,198 @@
+#include "serve/health.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contract.h"
+
+namespace comet::serve {
+
+ShardHealthMonitor::ShardHealthMonitor(std::size_t shards, Prober prober,
+                                       HealthOptions options)
+    : prober_(std::move(prober)),
+      options_(options),
+      clock_(options.clock != nullptr ? *options.clock : obs::steady_clock()),
+      rng_(options.seed) {
+  COMET_CHECK_MSG(shards > 0, "ShardHealthMonitor needs at least one shard");
+  COMET_CHECK_MSG(prober_ != nullptr, "ShardHealthMonitor needs a prober");
+  util::MutexLock lock(mutex_);
+  shards_.resize(shards);
+}
+
+ShardHealthMonitor::~ShardHealthMonitor() { stop(); }
+
+void ShardHealthMonitor::tick() {
+  util::MutexLock lock(tick_mutex_);
+  probe_pass(/*ignore_due=*/false);
+}
+
+void ShardHealthMonitor::force_probe_all() {
+  util::MutexLock lock(tick_mutex_);
+  probe_pass(/*ignore_due=*/true);
+}
+
+void ShardHealthMonitor::probe_pass(bool ignore_due) {
+  const std::uint64_t now = clock_.now_ns();
+  std::vector<std::size_t> due;
+  {
+    util::MutexLock lock(mutex_);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (ignore_due || now >= shards_[s].next_due_ns) due.push_back(s);
+    }
+  }
+  std::vector<std::size_t> died;
+  std::vector<std::size_t> readmitted;
+  for (const std::size_t shard : due) {
+    const bool ok = prober_(shard);  // no locks held: may block on I/O
+    record_result(shard, ok, clock_.now_ns(), died, readmitted);
+  }
+  // Handlers fire outside every monitor lock, in shard order, exactly
+  // once per transition.
+  for (const std::size_t shard : died) {
+    if (on_dead_) on_dead_(shard);
+  }
+  for (const std::size_t shard : readmitted) {
+    if (on_readmitted_) on_readmitted_(shard);
+  }
+}
+
+void ShardHealthMonitor::record_result(std::size_t shard, bool ok,
+                                       std::uint64_t now,
+                                       std::vector<std::size_t>& died,
+                                       std::vector<std::size_t>& readmitted) {
+  util::MutexLock lock(mutex_);
+  ShardState& state = shards_[shard];
+  ++counters_.probes;
+  const auto readmit = [&] {
+    state.health = ShardHealth::kHealthy;
+    state.half_open_successes = 0;
+    state.backoff_ns = 0;
+    state.next_due_ns = now + options_.probe_interval_ns;
+    ++counters_.readmissions;
+    readmitted.push_back(shard);
+  };
+  if (ok) {
+    state.consecutive_failures = 0;
+    switch (state.health) {
+      case ShardHealth::kHealthy:
+      case ShardHealth::kSuspect:
+        state.health = ShardHealth::kHealthy;
+        state.next_due_ns = now + options_.probe_interval_ns;
+        break;
+      case ShardHealth::kDead:
+        // Circuit half-open: start counting consecutive successes.
+        state.health = ShardHealth::kProbation;
+        state.half_open_successes = 1;
+        if (state.half_open_successes >= options_.readmit_probes) {
+          readmit();
+        } else {
+          state.next_due_ns = now + options_.probe_interval_ns;
+        }
+        break;
+      case ShardHealth::kProbation:
+        ++state.half_open_successes;
+        if (state.half_open_successes >= options_.readmit_probes) {
+          readmit();
+        } else {
+          state.next_due_ns = now + options_.probe_interval_ns;
+        }
+        break;
+    }
+    return;
+  }
+  ++counters_.failures;
+  switch (state.health) {
+    case ShardHealth::kHealthy:
+    case ShardHealth::kSuspect:
+      ++state.consecutive_failures;
+      if (state.consecutive_failures >= options_.failure_threshold) {
+        state.health = ShardHealth::kDead;
+        state.half_open_successes = 0;
+        state.backoff_ns = options_.backoff_base_ns;
+        state.next_due_ns = now + jittered(state.backoff_ns);
+        ++counters_.deaths;
+        died.push_back(shard);
+      } else {
+        state.health = ShardHealth::kSuspect;
+        state.next_due_ns = now + options_.probe_interval_ns;
+      }
+      break;
+    case ShardHealth::kDead:
+      // Still dead: keep backing off (capped).
+      state.backoff_ns = std::min<std::uint64_t>(
+          options_.backoff_max_ns,
+          static_cast<std::uint64_t>(static_cast<double>(state.backoff_ns) *
+                                     options_.backoff_factor));
+      state.next_due_ns = now + jittered(state.backoff_ns);
+      break;
+    case ShardHealth::kProbation:
+      // Relapse during half-open: back to dead. No on_dead refire (the
+      // pool never re-admitted it) and no new death counted — this is
+      // the same outage continuing.
+      state.health = ShardHealth::kDead;
+      state.half_open_successes = 0;
+      state.backoff_ns = std::min<std::uint64_t>(
+          options_.backoff_max_ns,
+          static_cast<std::uint64_t>(static_cast<double>(state.backoff_ns) *
+                                     options_.backoff_factor));
+      state.next_due_ns = now + jittered(state.backoff_ns);
+      break;
+  }
+}
+
+std::uint64_t ShardHealthMonitor::jittered(std::uint64_t wait_ns) {
+  if (options_.jitter_frac <= 0.0 || wait_ns == 0) return wait_ns;
+  // Uniform in [1 - jitter_frac, 1 + jitter_frac], seeded: deterministic
+  // for a given construction seed and probe history.
+  const double factor = 1.0 + options_.jitter_frac * (2.0 * rng_.uniform() - 1.0);
+  return static_cast<std::uint64_t>(static_cast<double>(wait_ns) * factor);
+}
+
+void ShardHealthMonitor::start(std::uint64_t period_ns) {
+  stop();
+  {
+    util::MutexLock lock(bg_mutex_);
+    bg_stop_ = false;
+  }
+  const std::uint64_t period = period_ns == 0 ? 1'000'000 : period_ns;
+  bg_thread_ = std::thread([this, period] {
+    for (;;) {
+      {
+        util::MutexLock lock(bg_mutex_);
+        if (!bg_stop_) bg_cv_.wait_for_ns(lock, period);
+        if (bg_stop_) return;
+      }
+      tick();
+    }
+  });
+}
+
+void ShardHealthMonitor::stop() {
+  {
+    util::MutexLock lock(bg_mutex_);
+    bg_stop_ = true;
+  }
+  bg_cv_.notify_all();
+  if (bg_thread_.joinable()) bg_thread_.join();
+}
+
+ShardHealth ShardHealthMonitor::health(std::size_t shard) const {
+  util::MutexLock lock(mutex_);
+  COMET_CHECK_MSG(shard < shards_.size(), "shard index out of range: " << shard);
+  return shards_[shard].health;
+}
+
+std::vector<ShardHealth> ShardHealthMonitor::snapshot() const {
+  util::MutexLock lock(mutex_);
+  std::vector<ShardHealth> out;
+  out.reserve(shards_.size());
+  for (const ShardState& state : shards_) out.push_back(state.health);
+  return out;
+}
+
+ShardHealthMonitor::Counters ShardHealthMonitor::counters() const {
+  util::MutexLock lock(mutex_);
+  return counters_;
+}
+
+}  // namespace comet::serve

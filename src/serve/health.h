@@ -1,0 +1,169 @@
+// ShardHealthMonitor: the circuit breaker that decides which remote
+// shards receive traffic.
+//
+// The monitor owns no sockets — it drives a Prober callback (typically
+// RemoteShardClient::ping, a kHealthCheck/kHealthReply round trip) and a
+// per-shard state machine:
+//
+//   kHealthy --failure--> kSuspect --failure x threshold--> kDead
+//      ^                     |success                          |
+//      |                     v                                 v
+//      +<----------------kHealthy            (backoff, half-open probes)
+//      |                                                       |
+//      +<-- kProbation <--success-- (readmit_probes in a row) -+
+//
+// Reaching kDead fires on_dead(shard) exactly once per outage — the
+// hook where a ShardedBrokerPool/ShardedCostModel removes the shard
+// from its routing set (re-sharding the hash space over the survivors
+// instead of paying per-request failover forever). Dead shards are
+// re-probed on an exponential backoff with deterministic seeded jitter
+// (util::Rng — the repo's raw-random lint contract); a success enters
+// half-open kProbation, and `readmit_probes` consecutive successes fire
+// on_readmitted(shard) — the hook that re-admits the shard to routing.
+// Any probation failure drops straight back to kDead and the backoff
+// keeps growing (capped).
+//
+// Driving it: call tick() yourself (tests pair it with obs::ManualClock
+// and a scripted prober for fully deterministic sweeps), or start() a
+// background thread that ticks every period. Probes run without the
+// state lock held, so health()/counters() snapshots never block behind
+// a wedged remote peer; tick() itself is serialized (one prober pass at
+// a time). Handlers are invoked from the ticking thread, outside the
+// state lock — they may call back into the pool freely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.h"
+#include "util/rng.h"
+#include "util/sync.h"
+
+namespace comet::serve {
+
+enum class ShardHealth : std::uint8_t {
+  kHealthy = 0,    ///< in the routing set, probes passing
+  kSuspect = 1,    ///< recent probe failure(s), not yet past the threshold
+  kDead = 2,       ///< circuit open: out of routing, backoff re-probes only
+  kProbation = 3,  ///< half-open: probes passing, not yet re-admitted
+};
+
+inline const char* shard_health_name(ShardHealth h) {
+  switch (h) {
+    case ShardHealth::kHealthy: return "healthy";
+    case ShardHealth::kSuspect: return "suspect";
+    case ShardHealth::kDead: return "dead";
+    case ShardHealth::kProbation: return "probation";
+  }
+  return "unknown";
+}
+
+struct HealthOptions {
+  /// Consecutive probe failures before the circuit opens (kDead).
+  std::size_t failure_threshold = 3;
+  /// Consecutive half-open successes before a dead shard is re-admitted.
+  std::size_t readmit_probes = 2;
+  /// Probe cadence for live (healthy/suspect/probation) shards; 0 =
+  /// probe on every tick.
+  std::uint64_t probe_interval_ns = 0;
+  /// Exponential backoff for re-probing dead shards: base, multiplier,
+  /// cap. Each wait is jittered by ±jitter_frac (seeded util::Rng) so a
+  /// fleet of monitors doesn't re-probe in lockstep.
+  std::uint64_t backoff_base_ns = 100'000'000;  // 100 ms
+  double backoff_factor = 2.0;
+  std::uint64_t backoff_max_ns = 5'000'000'000;  // 5 s
+  double jitter_frac = 0.1;
+  std::uint64_t seed = 0x5eed;
+  /// Time source; nullptr = obs::steady_clock(). Tests inject an
+  /// obs::ManualClock. Must outlive the monitor.
+  const obs::Clock* clock = nullptr;
+};
+
+class ShardHealthMonitor {
+ public:
+  /// One liveness probe; true = the shard answered. Called without the
+  /// monitor's state lock held (it may block on a network round trip).
+  using Prober = std::function<bool(std::size_t shard)>;
+  using Handler = std::function<void(std::size_t shard)>;
+
+  struct Counters {
+    std::uint64_t probes = 0;
+    std::uint64_t failures = 0;      ///< failed probes
+    std::uint64_t deaths = 0;        ///< healthy/suspect → dead transitions
+    std::uint64_t readmissions = 0;  ///< probation → healthy transitions
+  };
+
+  ShardHealthMonitor(std::size_t shards, Prober prober,
+                     HealthOptions options = {});
+  ~ShardHealthMonitor();
+
+  ShardHealthMonitor(const ShardHealthMonitor&) = delete;
+  ShardHealthMonitor& operator=(const ShardHealthMonitor&) = delete;
+
+  /// Fired once per healthy→dead transition / once per re-admission.
+  /// Set before the first tick()/start(); invoked from the ticking
+  /// thread with no monitor lock held.
+  void set_on_dead(Handler handler) { on_dead_ = std::move(handler); }
+  void set_on_readmitted(Handler handler) {
+    on_readmitted_ = std::move(handler);
+  }
+
+  /// One monitoring pass: probe every shard whose next probe is due.
+  void tick();
+
+  /// Probe every shard now, ignoring due times (tests and "the operator
+  /// clicked refresh").
+  void force_probe_all();
+
+  /// Tick from a background thread every `period_ns` until stop().
+  void start(std::uint64_t period_ns);
+  void stop();
+
+  ShardHealth health(std::size_t shard) const;
+  std::vector<ShardHealth> snapshot() const;
+  Counters counters() const;
+
+ private:
+  struct ShardState {
+    ShardHealth health = ShardHealth::kHealthy;
+    std::size_t consecutive_failures = 0;
+    std::size_t half_open_successes = 0;
+    std::uint64_t next_due_ns = 0;   ///< probe at/after this clock reading
+    std::uint64_t backoff_ns = 0;    ///< current dead-shard re-probe wait
+  };
+
+  void probe_pass(bool ignore_due) COMET_EXCLUDES(mutex_)
+      COMET_REQUIRES(tick_mutex_);
+  void record_result(std::size_t shard, bool ok, std::uint64_t now,
+                     std::vector<std::size_t>& died,
+                     std::vector<std::size_t>& readmitted)
+      COMET_EXCLUDES(mutex_);
+  std::uint64_t jittered(std::uint64_t wait_ns) COMET_REQUIRES(mutex_);
+
+  const Prober prober_;
+  const HealthOptions options_;
+  const obs::Clock& clock_;
+  Handler on_dead_;        // set before ticking starts
+  Handler on_readmitted_;
+
+  // Serializes prober passes (tick/force_probe_all); never held while a
+  // caller reads health()/counters().
+  util::Mutex tick_mutex_;
+  // State lock: brief critical sections only — never held across a probe
+  // or a handler.
+  mutable util::Mutex mutex_;
+  std::vector<ShardState> shards_ COMET_GUARDED_BY(mutex_);
+  Counters counters_ COMET_GUARDED_BY(mutex_);
+  util::Rng rng_ COMET_GUARDED_BY(mutex_);
+
+  // Background ticker.
+  util::Mutex bg_mutex_;
+  util::CondVar bg_cv_;
+  bool bg_stop_ COMET_GUARDED_BY(bg_mutex_) = false;
+  std::thread bg_thread_;
+};
+
+}  // namespace comet::serve

@@ -195,6 +195,10 @@ void RemoteShardClient::predict_batch(std::span<const x86::BasicBlock> blocks,
                   "remote-shard: predict_batch out/blocks size mismatch");
   if (blocks.empty()) return;
   net::PredictRequest request;
+  request.priority = options_.priority;
+  // Ship the remaining budget, not an absolute clock reading (clocks do
+  // not cross hosts): the server sees how long this round-trip may take.
+  request.deadline_ns = options_.request_timeout_ns;
   request.block_texts.reserve(blocks.size());
   for (const x86::BasicBlock& block : blocks) {
     request.block_texts.push_back(block.to_string());
@@ -245,6 +249,41 @@ cost::QueryStats RemoteShardClient::server_stats() const {
   return net::decode_stats(response.payload);
 }
 
+bool RemoteShardClient::ping() const {
+  util::MutexLock lock(mutex_);
+  ++counters_.health_pings;
+  net::HealthPing probe;
+  // Varies per probe (ids are monotonic) so a stale reply from an earlier
+  // probe can never pass the echo check; round_trip's id matching already
+  // discards such frames, the nonce is the wire-level belt-and-braces.
+  probe.nonce = 0x9e3779b97f4a7c15ULL ^ next_id_;
+  try {
+    const net::Frame response = round_trip(net::MessageType::kHealthCheck,
+                                           net::encode_health_ping(probe));
+    if (response.type != net::MessageType::kHealthReply) {
+      ++counters_.health_failures;
+      return false;
+    }
+    const net::HealthReply reply = net::decode_health_reply(response.payload);
+    if (reply.nonce != probe.nonce) {
+      ++counters_.health_failures;
+      return false;
+    }
+    return true;
+  } catch (const net::CancelledError&) {
+    throw;  // a caller decision, as everywhere else
+  } catch (const net::TransportError&) {
+    ++counters_.health_failures;
+    return false;
+  } catch (const util::ContractViolation&) {
+    // Malformed reply payload: the shard is up enough to send garbage,
+    // which is not up enough to route traffic to.
+    ++counters_.wire_errors;
+    ++counters_.health_failures;
+    return false;
+  }
+}
+
 RemoteShardClient::Counters RemoteShardClient::counters() const {
   util::MutexLock lock(mutex_);
   return counters_;
@@ -278,6 +317,9 @@ void RemoteShardServer::session_loop(net::Transport& transport) {
     try {
       std::optional<net::Frame> frame = assembler.poll();
       while (!frame.has_value()) {
+        // A server session blocks until the client speaks or stop()
+        // closes the transport — the drain contract, not a hang.
+        // comet-lint: allow(unbounded-wait)
         const std::size_t n =
             transport.recv(std::span<std::uint8_t>(buf), net::kNoTimeout);
         if (n == 0) return;  // peer closed: clean session end
@@ -359,6 +401,31 @@ bool RemoteShardServer::handle_frame(net::Transport& transport,
       reply.payload = net::encode_stats(stats());
       transport.send(net::encode_frame(reply));
       return true;
+    case net::MessageType::kHealthCheck: {
+      net::HealthReply health;
+      try {
+        health.nonce = net::decode_health_ping(frame.payload).nonce;
+      } catch (const util::ContractViolation& violation) {
+        {
+          util::MutexLock lock(mutex_);
+          ++counters_.errors;
+        }
+        reply.type = net::MessageType::kError;
+        reply.payload = net::encode_error(
+            {net::ErrorBody::kBadRequest, violation.what()});
+        transport.send(net::encode_frame(reply));
+        return true;
+      }
+      {
+        util::MutexLock lock(mutex_);
+        ++counters_.health_checks;
+        health.requests_served = counters_.requests;
+      }
+      reply.type = net::MessageType::kHealthReply;
+      reply.payload = net::encode_health_reply(health);
+      transport.send(net::encode_frame(reply));
+      return true;
+    }
     default: {
       // Response types never flow client → server.
       {

@@ -69,6 +69,10 @@ struct RemoteShardOptions {
   /// Local model serving the request when the remote side is unreachable
   /// (timeout or attempts exhausted). nullptr = propagate the typed error.
   std::shared_ptr<const cost::CostModel> fallback;
+  /// Traffic class stamped on every kPredictRequest (0 = interactive,
+  /// 1 = batch — serve::Lane values). Advisory: lets the remote side see
+  /// which serving lane generated the traffic.
+  std::uint8_t priority = 0;
 };
 
 class RemoteShardClient final : public cost::CostModel {
@@ -97,6 +101,15 @@ class RemoteShardClient final : public cost::CostModel {
   /// are about the remote side by definition).
   cost::QueryStats server_stats() const;
 
+  /// Liveness probe: one kHealthCheck round-trip, true iff the server
+  /// answered with a kHealthReply echoing this probe's nonce within the
+  /// request timeout. All transport-class failures (timeout, dead
+  /// connection, malformed reply) return false — a probe is a question,
+  /// not a request, so nothing is retried or failed over. Cancellation
+  /// still throws net::CancelledError. This is the Prober a
+  /// ShardHealthMonitor drives.
+  bool ping() const;
+
   /// Failure-mode accounting, all monotonic.
   struct Counters {
     std::uint64_t requests = 0;    ///< predict/predict_batch round-trips
@@ -106,6 +119,8 @@ class RemoteShardClient final : public cost::CostModel {
     std::uint64_t failovers = 0;   ///< served by the local fallback
     std::uint64_t stale_frames = 0;  ///< late/duplicate responses discarded
     std::uint64_t wire_errors = 0;   ///< malformed bytes / dead connections
+    std::uint64_t health_pings = 0;      ///< ping() probes issued
+    std::uint64_t health_failures = 0;   ///< ping() probes that came back false
   };
   Counters counters() const;
 
@@ -169,6 +184,7 @@ class RemoteShardServer {
     std::uint64_t requests = 0;   ///< predict requests decoded
     std::uint64_t responses = 0;  ///< predict responses sent
     std::uint64_t errors = 0;     ///< kError frames sent (parse/bad bytes)
+    std::uint64_t health_checks = 0;  ///< kHealthCheck probes answered
   };
   Counters counters() const;
 

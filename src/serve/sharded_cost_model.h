@@ -49,6 +49,16 @@ class ShardedCostModel final : public cost::CostModel {
   /// ShardedBrokerPool::metrics).
   const obs::MetricsRegistry& metrics() const { return pool_.metrics(); }
 
+  /// Fault-recovery controls, forwarded to the pool: remove a dead shard
+  /// from (or re-admit a recovered one to) the routing set, re-sharding
+  /// the hash space and sweeping moved memo ranges. Typically driven by
+  /// a ShardHealthMonitor's on_dead/on_readmitted handlers.
+  void set_shard_live(std::size_t shard, bool live) {
+    pool_.set_shard_live(shard, live);
+  }
+  std::vector<std::size_t> live_shards() const { return pool_.live_shards(); }
+  std::vector<std::size_t> memo_sizes() const { return pool_.memo_sizes(); }
+
  private:
   ShardedBrokerPool<x86::BasicBlock, cost::CostModel> pool_;
 };

@@ -20,6 +20,20 @@
 // Per-shard QueryStats are exposed raw (load-balance accounting: how even
 // is the hash spread?) and merged via QueryStats::operator+=.
 //
+// Fault recovery: the pool re-shards instead of limping. set_shard_live()
+// (driven by a ShardHealthMonitor watching remote shards) removes a shard
+// from the routing set — the hash space redistributes over the survivors
+// — and adds it back after recovery. On every routing change the pool
+// posts a memo sweep to each live shard evicting entries the shard no
+// longer owns under the new map (retain_memo_if), so caches track
+// ownership instead of accumulating moved ranges. Results stay
+// bit-identical across re-shards because every shard's model is
+// identical-by-construction (same factory); the routing set only decides
+// *where* a block is priced, never what the answer is. With every shard
+// marked dead the pool degrades to routing over the full set (the layer
+// above — FallbackChain — decides what to do about shards that then
+// fail), so predict_batch never deadlocks on an empty routing set.
+//
 // Observability: the pool owns an obs::MetricsRegistry with, per shard, a
 // sub-batch-size histogram (shard_batch_size{shard="N"} — how the hash
 // spread actually partitions traffic) and a memo hit-rate gauge
@@ -65,6 +79,8 @@ class ShardedBrokerPool {
       shards_.back()->hit_rate_gauge = &metrics_.gauge(
           obs::MetricsRegistry::labeled("shard_hit_rate", "shard", label));
     }
+    util::MutexLock lock(route_mutex_);
+    alive_.assign(shards, true);
   }
 
   // Destruction is a graceful drain: each shard's ThreadPool finishes its
@@ -80,9 +96,10 @@ class ShardedBrokerPool {
   void predict_batch(std::span<const Block> blocks,
                      std::span<double> out) const {
     if (blocks.empty()) return;
+    const std::vector<std::size_t> live = routing_snapshot();
     std::vector<std::vector<std::size_t>> indices_of(shards_.size());
     for (std::size_t i = 0; i < blocks.size(); ++i) {
-      indices_of[shard_of(blocks[i])].push_back(i);
+      indices_of[owner_in(blocks[i].to_string(), live)].push_back(i);
     }
     std::size_t sub_batches = 0;
     for (const auto& idx : indices_of) sub_batches += !idx.empty();
@@ -119,15 +136,67 @@ class ShardedBrokerPool {
     return out;
   }
 
-  /// Which shard owns `block` (stable hash of the full block text — the
-  /// same string the shard broker memoizes on).
+  /// Which shard owns `block` under the *current* routing set (stable
+  /// hash of the full block text — the same string the shard broker
+  /// memoizes on).
   std::size_t shard_of(const Block& block) const {
     if (shards_.size() == 1) return 0;
-    const std::string key = block.to_string();
-    return util::fnv1a64(key.data(), key.size()) % shards_.size();
+    return owner_in(block.to_string(), routing_snapshot());
   }
 
   std::size_t shard_count() const { return shards_.size(); }
+
+  /// Mark shard `s` live (routable) or dead. Removing a shard re-shards
+  /// the hash space over the survivors; re-adding one re-shards again.
+  /// Either way a memo sweep is posted to every live shard evicting
+  /// entries it no longer owns, and this call waits for those sweeps
+  /// (deterministic ordering for everything posted afterwards). Dead
+  /// shards are not swept — they get theirs on re-admission. No-op when
+  /// the liveness bit already matches.
+  void set_shard_live(std::size_t s, bool live) {
+    std::vector<std::size_t> routing;
+    {
+      util::MutexLock lock(route_mutex_);
+      if (s >= shards_.size() || alive_[s] == live) return;
+      alive_[s] = live;
+      routing = routing_locked();
+    }
+    Join join;
+    join.add(routing.size());
+    for (const std::size_t shard_index : routing) {
+      shards_[shard_index]->post(
+          [shard = shards_[shard_index].get(), shard_index, routing, &join] {
+            shard->broker.retain_memo_if([&](const std::string& key) {
+              return owner_in(key, routing) == shard_index;
+            });
+            join.done_one();
+          });
+    }
+    join.wait();
+  }
+
+  /// Indices of the shards currently in the routing set. (All of them at
+  /// construction; possibly the degraded full set when everything has
+  /// been marked dead — see the header comment.)
+  std::vector<std::size_t> live_shards() const {
+    return routing_snapshot();
+  }
+
+  /// Per-shard memo-entry counts, snapshotted on the shard threads
+  /// (re-shard tests watch moved ranges disappear).
+  std::vector<std::size_t> memo_sizes() const {
+    std::vector<std::size_t> out(shards_.size());
+    Join join;
+    join.add(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->post([shard = shards_[s].get(), &out, s, &join] {
+        out[s] = shard->broker.memo_size();
+        join.done_one();
+      });
+    }
+    join.wait();
+    return out;
+  }
 
   /// Per-shard ledgers, snapshotted on each shard's own thread (so the
   /// snapshot serializes with in-flight work instead of racing it).
@@ -183,6 +252,9 @@ class ShardedBrokerPool {
     }
     void wait() COMET_EXCLUDES(mutex) {
       util::MutexLock lock(mutex);
+      // Countdown over local shard threads: every posted task runs, so
+      // the latch always opens.
+      // comet-lint: allow(unbounded-wait)
       while (pending != 0) cv.wait(lock);
     }
   };
@@ -205,11 +277,43 @@ class ShardedBrokerPool {
     void post(std::function<void()> task) { pool.post(std::move(task)); }
   };
 
+  /// Owner of `key` among the shards listed in `routing` (hash over the
+  /// routing set's *size*, so removing a shard redistributes the whole
+  /// space over the survivors).
+  static std::size_t owner_in(const std::string& key,
+                              const std::vector<std::size_t>& routing) {
+    if (routing.size() == 1) return routing[0];
+    return routing[util::fnv1a64(key.data(), key.size()) % routing.size()];
+  }
+
+  std::vector<std::size_t> routing_locked() const
+      COMET_REQUIRES(route_mutex_) {
+    std::vector<std::size_t> routing;
+    for (std::size_t s = 0; s < alive_.size(); ++s) {
+      if (alive_[s]) routing.push_back(s);
+    }
+    if (routing.empty()) {
+      // Fully dead: degrade to the full set rather than refuse to route.
+      for (std::size_t s = 0; s < alive_.size(); ++s) routing.push_back(s);
+    }
+    return routing;
+  }
+
+  std::vector<std::size_t> routing_snapshot() const
+      COMET_EXCLUDES(route_mutex_) {
+    util::MutexLock lock(route_mutex_);
+    return routing_locked();
+  }
+
   // Declared before shards_: the shards hold pointers into the registry and
   // drain their queued work (which records through those pointers) before
   // the registry is destroyed.
   obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Routing state: which shards receive traffic. Brief critical sections
+  // only (snapshot/rebuild); the memo sweeps run on the shard threads.
+  mutable util::Mutex route_mutex_;
+  std::vector<bool> alive_ COMET_GUARDED_BY(route_mutex_);
 };
 
 }  // namespace comet::serve

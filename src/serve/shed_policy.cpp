@@ -1,0 +1,22 @@
+#include "serve/shed_policy.h"
+
+namespace comet::serve {
+
+bool WatermarkShedPolicy::should_shed(const ShedContext& context) const {
+  if (context.queue_capacity == 0) return false;
+  const double occupancy = static_cast<double>(context.queue_depth) /
+                           static_cast<double>(context.queue_capacity);
+  if (context.lane == Lane::kBatch && occupancy >= options_.batch_watermark) {
+    return true;
+  }
+  if (occupancy >= options_.saturation_watermark) {
+    if (context.lane == Lane::kBatch) return true;
+    if (context.has_deadline && options_.min_slack_ns != 0 &&
+        context.deadline_slack_ns < options_.min_slack_ns) {
+      return true;  // would expire in the queue; don't burn a slot on it
+    }
+  }
+  return false;
+}
+
+}  // namespace comet::serve

@@ -34,6 +34,9 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       util::MutexLock lock(mutex_);
+      // Worker parking loop; woken by post() or the destructor's stop
+      // signal, both of which arrive.
+      // comet-lint: allow(unbounded-wait)
       while (!stopping_ && tasks_.empty()) cv_.wait(lock);
       if (tasks_.empty()) return;  // stopping and fully drained
       task = std::move(tasks_.front());

@@ -92,6 +92,13 @@ class RuleFiresAndSuppresses(unittest.TestCase):
                    "raw-assert")
         self.check("src/cost/model.cpp", "if (bad) abort();", "raw-assert")
 
+    def test_unbounded_wait(self):
+        self.check("src/serve/pool.cpp",
+                   "while (pending != 0) cv_.wait(lock);", "unbounded-wait")
+        self.check("src/net/chan.cpp",
+                   "const size_t n = transport.recv(buf, kNoTimeout);",
+                   "unbounded-wait")
+
     def test_raw_clock(self):
         self.check("src/serve/foo.cpp",
                    "auto t = std::chrono::system_clock::now();", "raw-clock")
@@ -129,6 +136,17 @@ class RuleScoping(unittest.TestCase):
         self.assertEqual(
             [], rules_hit("bench/bench_foo.cpp",
                           "auto t = std::chrono::system_clock::now();"))
+
+    def test_unbounded_wait_only_in_serve_and_net(self):
+        # Blocking helpers elsewhere (cost-layer joins, util internals) are
+        # out of this rule's scope.
+        self.assertEqual(
+            [], rules_hit("src/cost/model.cpp",
+                          "while (done != posted) join.cv.wait(lock);"))
+        self.assertEqual(
+            [], rules_hit("src/util/sync.h",
+                          "#pragma once\n"
+                          "void wait(MutexLock& lock) { cv_.wait(lock.lock_); }"))
 
     def test_obs_clock_seam_is_exempt_from_raw_clock(self):
         # The seam itself wraps the real clock; steady_clock is fine
@@ -205,6 +223,45 @@ class UncheckedIoPositioning(unittest.TestCase):
         self.assertEqual([], rules_hit("src/cost/ckpt.cpp", ok))
 
 
+class UnboundedWaitBounds(unittest.TestCase):
+    """A bound anywhere on the statement exempts it; helpers don't fire."""
+
+    def test_timed_variants_pass(self):
+        ok = (
+            "cv_.wait_for_ns(lock, deadline - now);\n"
+            "const size_t n = transport.recv(buf, timeout_ns);\n"
+            "const size_t m = transport.recv(buf, deadline - now);"
+        )
+        self.assertEqual([], rules_hit("src/serve/pool.cpp", ok))
+
+    def test_bound_on_continuation_line_counts(self):
+        ok = ("const std::size_t n =\n"
+              "    transport->recv(std::span<std::uint8_t>(buf),\n"
+              "                    deadline - now);")
+        self.assertEqual([], rules_hit("src/serve/pool.cpp", ok))
+
+    def test_declaration_with_timeout_parameter_passes(self):
+        ok = ("#pragma once\n"
+              "virtual std::size_t recv(std::span<std::uint8_t> buf,\n"
+              "                         std::uint64_t timeout_ns) = 0;")
+        self.assertEqual([], rules_hit("src/net/transport2.h", ok))
+
+    def test_zero_arg_wait_is_a_helper_call(self):
+        # join.wait() is a named latch; its blocking loop is linted where
+        # it is defined.
+        self.assertEqual([], rules_hit("src/serve/pool.cpp", "join.wait();"))
+
+    def test_finding_anchors_at_statement_start(self):
+        bad = ("const std::size_t n =\n"
+               "    transport.recv(buf, kNoTimeout);")
+        self.assertEqual([("unbounded-wait", 1)],
+                         rules_hit("src/serve/pool.cpp", bad))
+        # ... so the documented previous-line suppression works on
+        # multi-line statements too.
+        suppressed = "// comet-lint: allow(unbounded-wait)\n" + bad
+        self.assertEqual([], rules_hit("src/serve/pool.cpp", suppressed))
+
+
 class SuppressionSyntax(unittest.TestCase):
     def test_multi_rule_suppression(self):
         text = ("std::mutex mu;  "
@@ -260,7 +317,7 @@ class CommandLine(unittest.TestCase):
         self.assertEqual(0, result.returncode)
         for rule in ("libm-in-nn", "raw-sync", "unchecked-io", "raw-random",
                      "stdout-in-library", "include-guard", "using-namespace",
-                     "raw-clock", "raw-assert"):
+                     "raw-clock", "raw-assert", "unbounded-wait"):
             self.assertIn(rule, result.stdout)
 
 

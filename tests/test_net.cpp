@@ -40,7 +40,9 @@ cn::Frame sample_frame() {
   cn::Frame frame;
   frame.type = cn::MessageType::kPredictRequest;
   frame.request_id = 0x1122334455667788ULL;
-  frame.payload = cn::encode_predict_request({{"add rax, rbx", "div rcx"}});
+  cn::PredictRequest req;
+  req.block_texts = {"add rax, rbx", "div rcx"};
+  frame.payload = cn::encode_predict_request(req);
   return frame;
 }
 
@@ -98,7 +100,8 @@ TEST(Wire, EncodeDecodeRoundTripsEveryMessageType) {
   for (const auto type :
        {cn::MessageType::kPredictRequest, cn::MessageType::kPredictResponse,
         cn::MessageType::kStatsRequest, cn::MessageType::kStatsResponse,
-        cn::MessageType::kError, cn::MessageType::kShutdown}) {
+        cn::MessageType::kError, cn::MessageType::kShutdown,
+        cn::MessageType::kHealthCheck, cn::MessageType::kHealthReply}) {
     cn::Frame frame;
     frame.type = type;
     frame.request_id = 42 + static_cast<std::uint64_t>(type);
@@ -142,7 +145,7 @@ TEST(Wire, DecodeRejectsEveryMalformedHeader) {
   auto bad_type = good;
   bad_type[5] = 0;
   EXPECT_THROW(cn::decode_frame(bad_type), cu::ContractViolation);
-  bad_type[5] = static_cast<std::uint8_t>(cn::MessageType::kShutdown) + 1;
+  bad_type[5] = static_cast<std::uint8_t>(cn::MessageType::kHealthReply) + 1;
   EXPECT_THROW(cn::decode_frame(bad_type), cu::ContractViolation);
 
   // Reserved flags set.
@@ -164,6 +167,20 @@ TEST(Wire, DecodeRejectsEveryMalformedHeader) {
   EXPECT_EQ(cn::decode_frame(good), sample_frame());
 }
 
+TEST(Wire, DecodeRejectsPreviousWireVersionFrames) {
+  // A well-formed v1 frame (the previous release's predict-request layout:
+  // block count + strings, no priority/deadline prefix) must be rejected
+  // on the version byte — v2 peers never guess at old payload layouts.
+  auto v1 = cn::encode_frame(sample_frame());
+  ASSERT_EQ(v1[4], cn::kWireVersion);
+  v1[4] = 1;
+  EXPECT_THROW(cn::decode_frame(v1), cu::ContractViolation);
+
+  cn::FrameAssembler assembler;
+  assembler.feed(v1);
+  EXPECT_THROW(assembler.poll(), cu::ContractViolation);
+}
+
 TEST(Wire, EncodeRejectsOversizedPayload) {
   cn::Frame frame;
   frame.type = cn::MessageType::kPredictResponse;
@@ -174,12 +191,51 @@ TEST(Wire, EncodeRejectsOversizedPayload) {
 // ---------------- payload codecs ----------------
 
 TEST(Wire, PredictRequestRoundTripIncludingEmptyAndOddStrings) {
-  const cn::PredictRequest req{
-      {"mov rax, 5\ndiv rcx", "", std::string("\x00\xFF tab\t", 6)}};
+  cn::PredictRequest req;
+  req.block_texts = {"mov rax, 5\ndiv rcx", "", std::string("\x00\xFF tab\t", 6)};
   EXPECT_EQ(cn::decode_predict_request(cn::encode_predict_request(req)), req);
   const cn::PredictRequest empty{};
   EXPECT_EQ(cn::decode_predict_request(cn::encode_predict_request(empty)),
             empty);
+}
+
+TEST(Wire, PredictRequestCarriesPriorityAndDeadline) {
+  cn::PredictRequest req;
+  req.priority = 1;
+  req.deadline_ns = 250'000'000;
+  req.block_texts = {"add rax, rbx"};
+  const auto decoded =
+      cn::decode_predict_request(cn::encode_predict_request(req));
+  EXPECT_EQ(decoded, req);
+  EXPECT_EQ(decoded.priority, 1);
+  EXPECT_EQ(decoded.deadline_ns, 250'000'000u);
+
+  // Priority outside the lane range is rejected in both directions.
+  cn::PredictRequest bad = req;
+  bad.priority = cn::PredictRequest::kMaxPriority + 1;
+  EXPECT_THROW(cn::encode_predict_request(bad), cu::ContractViolation);
+  auto bytes = cn::encode_predict_request(req);
+  bytes[0] = cn::PredictRequest::kMaxPriority + 1;
+  EXPECT_THROW(cn::decode_predict_request(bytes), cu::ContractViolation);
+}
+
+TEST(Wire, HealthPingAndReplyRoundTripAndRejectMalformedPayloads) {
+  const cn::HealthPing ping{0xdeadbeefcafef00dULL};
+  EXPECT_EQ(cn::decode_health_ping(cn::encode_health_ping(ping)), ping);
+
+  const cn::HealthReply reply{0xdeadbeefcafef00dULL, 12345};
+  EXPECT_EQ(cn::decode_health_reply(cn::encode_health_reply(reply)), reply);
+
+  // Truncated and padded payloads are typed rejections.
+  auto short_ping = cn::encode_health_ping(ping);
+  short_ping.pop_back();
+  EXPECT_THROW(cn::decode_health_ping(short_ping), cu::ContractViolation);
+  auto padded = cn::encode_health_reply(reply);
+  padded.push_back(0);
+  EXPECT_THROW(cn::decode_health_reply(padded), cu::ContractViolation);
+  // A ping payload is too short to be a reply.
+  EXPECT_THROW(cn::decode_health_reply(cn::encode_health_ping(ping)),
+               cu::ContractViolation);
 }
 
 TEST(Wire, PredictResponseRoundTripsDoublesBitExactly) {
@@ -219,7 +275,9 @@ TEST(Wire, CodecsRejectForgedCountsTruncationAndTrailingGarbage) {
   EXPECT_THROW(cn::decode_predict_response(forged), cu::ContractViolation);
 
   // Truncation mid-element.
-  auto request = cn::encode_predict_request({{"add rax, rbx"}});
+  cn::PredictRequest truncated;
+  truncated.block_texts = {"add rax, rbx"};
+  auto request = cn::encode_predict_request(truncated);
   request.pop_back();
   EXPECT_THROW(cn::decode_predict_request(request), cu::ContractViolation);
 

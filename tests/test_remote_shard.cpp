@@ -12,6 +12,14 @@
 //     the request resent; duplicated responses are discarded as stale;
 //   * cancellation — cancel() fails an in-flight request with
 //     CancelledError and never falls over to the local fallback;
+//   * fault recovery — RemoteShardClient::ping() round-trips the
+//     kHealthCheck frame and fails closed when the server dies; a seeded
+//     ShardHealthMonitor sweep takes a shard host through permanent death
+//     (circuit opens after `failure_threshold` failed wire pings, the
+//     pool re-shards the hash space over the survivors and sweeps their
+//     memos), recovery, and half-open re-admission — with every
+//     prediction and whole explanation served before, during, and after
+//     the outage bit-identical to in-process serving;
 //   * protocol errors — a bad block text fails the request (kError /
 //     kParseError) but not the session; garbage bytes end the session
 //     after a best-effort error report; and every scenario above ends in
@@ -23,10 +31,12 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <span>
 #include <string>
 #include <utility>
@@ -39,6 +49,9 @@
 #include "net/sim_transport.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/clock.h"
+#include "serve/fallback_chain.h"
+#include "serve/health.h"
 #include "serve/isa_servers.h"
 #include "serve/remote_shard.h"
 #include "serve/sharded_cost_model.h"
@@ -49,6 +62,7 @@ namespace cb = comet::bhive;
 namespace cc = comet::core;
 namespace ck = comet::cost;
 namespace cn = comet::net;
+namespace co = comet::obs;
 namespace cs = comet::serve;
 namespace cx = comet::x86;
 
@@ -514,6 +528,15 @@ TEST(RemoteShard, SeededFaultSweepIsDeterministicAndAlwaysCorrect) {
   EXPECT_EQ(first.wire_errors, second.wire_errors);
   EXPECT_EQ(first.requests, 10u);
   EXPECT_EQ(first.responses + first.failovers, 10u);
+
+  // Chaos mode (scripts/check.sh --chaos) widens the storm via
+  // COMET_CHAOS_SEEDS: every schedule must preserve bit-parity and drain
+  // cleanly, whatever it drops, truncates, or delays.
+  if (const char* env = std::getenv("COMET_CHAOS_SEEDS")) {
+    const std::size_t extra =
+        static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    for (std::size_t i = 0; i < extra; ++i) run(3000 + 17 * i);
+  }
 }
 
 // ---------------- cancellation ----------------
@@ -571,7 +594,9 @@ TEST(RemoteShardServer, BadBlockTextFailsTheRequestNotTheSession) {
   cn::Frame bad;
   bad.type = cn::MessageType::kPredictRequest;
   bad.request_id = 7;
-  bad.payload = cn::encode_predict_request({{"frobnicate zzz, qqq"}});
+  cn::PredictRequest bad_request;
+  bad_request.block_texts = {"frobnicate zzz, qqq"};
+  bad.payload = cn::encode_predict_request(bad_request);
   const auto error_reply = exchange(bad);
   EXPECT_EQ(error_reply.type, cn::MessageType::kError);
   EXPECT_EQ(error_reply.request_id, 7u);
@@ -592,8 +617,9 @@ TEST(RemoteShardServer, BadBlockTextFailsTheRequestNotTheSession) {
   cn::Frame good;
   good.type = cn::MessageType::kPredictRequest;
   good.request_id = 9;
-  good.payload =
-      cn::encode_predict_request({{test_blocks(1)[0].to_string()}});
+  cn::PredictRequest good_request;
+  good_request.block_texts = {test_blocks(1)[0].to_string()};
+  good.payload = cn::encode_predict_request(good_request);
   const auto good_reply = exchange(good);
   EXPECT_EQ(good_reply.type, cn::MessageType::kPredictResponse);
   EXPECT_EQ(good_reply.request_id, 9u);
@@ -646,4 +672,340 @@ TEST(RemoteShardServer, GarbageBytesEndTheSessionWithABestEffortError) {
   server.stop();
   EXPECT_EQ(server.counters().errors, 1u);
   EXPECT_EQ(server.counters().responses, 0u);
+}
+
+namespace {
+
+// A shard host that can die and come back. kill() stops the current
+// server — closing every live session, so connected clients see EOF —
+// and makes further dials fail with DisconnectedError; revive() installs
+// a fresh server for new dials. (RemoteShardServer is one-shot by
+// contract: start() after stop() is a ContractViolation, so revival
+// swaps in a new instance rather than restarting the old one.)
+class RevivableRig {
+ public:
+  explicit RevivableRig(std::shared_ptr<const ck::CostModel> model)
+      : model_(std::move(model)), slot_(std::make_shared<Slot>()) {
+    slot_->server = std::make_shared<cs::RemoteShardServer>(model_);
+  }
+
+  ~RevivableRig() { kill(); }
+
+  void kill() {
+    std::shared_ptr<cs::RemoteShardServer> doomed;
+    {
+      std::lock_guard<std::mutex> lock(slot_->mutex);
+      doomed = std::move(slot_->server);
+      slot_->server = nullptr;
+    }
+    if (doomed != nullptr) doomed->stop();
+  }
+
+  void revive() {
+    std::lock_guard<std::mutex> lock(slot_->mutex);
+    slot_->server = std::make_shared<cs::RemoteShardServer>(model_);
+  }
+
+  cs::RemoteShardClient::Connector connector() const {
+    return [slot = slot_]() -> std::unique_ptr<cn::Transport> {
+      std::shared_ptr<cs::RemoteShardServer> server;
+      {
+        std::lock_guard<std::mutex> lock(slot->mutex);
+        server = slot->server;
+      }
+      if (server == nullptr) {
+        throw cn::DisconnectedError("RevivableRig: shard host is down");
+      }
+      auto [client_end, server_end] = cn::make_sim_pair();
+      server->start(std::move(server_end));
+      return std::move(client_end);
+    };
+  }
+
+ private:
+  struct Slot {
+    std::mutex mutex;
+    std::shared_ptr<cs::RemoteShardServer> server;
+  };
+  std::shared_ptr<const ck::CostModel> model_;
+  std::shared_ptr<Slot> slot_;
+};
+
+}  // namespace
+
+TEST(RemoteShardHealth, PingRoundTripsAndFailsClosedOnceTheServerDies) {
+  ServerRig rig(crude());
+  cs::RemoteShardOptions copt;
+  copt.request_timeout_ns = kMustSucceedNs;
+  cs::RemoteShardClient client(rig.connector(), copt);
+
+  EXPECT_TRUE(client.ping());
+  EXPECT_TRUE(client.ping());
+  EXPECT_EQ(client.counters().health_pings, 2u);
+  EXPECT_EQ(client.counters().health_failures, 0u);
+  EXPECT_EQ(rig.server->counters().health_checks, 2u);
+  // Health checks never touch the model or the request ledger.
+  EXPECT_EQ(rig.server->counters().requests, 0u);
+  EXPECT_EQ(rig.server->stats().requested, 0u);
+
+  // A dead server fails the probe closed: false, never a throw, and the
+  // failure is accounted.
+  rig.server->stop();
+  EXPECT_FALSE(client.ping());
+  EXPECT_EQ(client.counters().health_pings, 3u);
+  EXPECT_EQ(client.counters().health_failures, 1u);
+}
+
+TEST(ShardFaultRecovery, DeathReShardsRecoveryReadmitsDeterministically) {
+  const auto plain = crude();
+  constexpr std::size_t kShards = 3;
+
+  std::vector<std::unique_ptr<RevivableRig>> rigs;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    rigs.push_back(std::make_unique<RevivableRig>(plain));
+  }
+
+  // The pool's shards are remote clients; the test keeps its own handles
+  // for the health prober.
+  std::vector<std::shared_ptr<const cs::RemoteShardClient>> clients(kShards);
+  cs::ShardedCostModel sharded(
+      [&](std::size_t s) {
+        cs::RemoteShardOptions copt;
+        copt.request_timeout_ns = kMustSucceedNs;
+        auto client = std::make_shared<const cs::RemoteShardClient>(
+            rigs[s]->connector(), copt);
+        clients[s] = client;
+        return client;
+      },
+      kShards);
+
+  co::ManualClock clock;  // t = 0; the monitor never reads wall time
+  cs::HealthOptions hopt;
+  hopt.failure_threshold = 2;
+  hopt.readmit_probes = 2;
+  hopt.probe_interval_ns = 0;    // live shards probe on every tick
+  hopt.backoff_base_ns = 1'000;  // dead-shard re-probe backoff (manual ns)
+  hopt.backoff_factor = 2.0;
+  hopt.backoff_max_ns = 8'000;
+  hopt.jitter_frac = 0.25;
+  hopt.seed = 0xc0ffee;
+  hopt.clock = &clock;
+  cs::ShardHealthMonitor monitor(
+      kShards, [&](std::size_t s) { return clients[s]->ping(); }, hopt);
+  std::vector<std::size_t> died;
+  std::vector<std::size_t> readmitted;
+  monitor.set_on_dead([&](std::size_t s) {
+    died.push_back(s);
+    sharded.set_shard_live(s, false);
+  });
+  monitor.set_on_readmitted([&](std::size_t s) {
+    readmitted.push_back(s);
+    sharded.set_shard_live(s, true);
+  });
+
+  // Prime the fleet: predictions over the pool are bit-identical to the
+  // in-process model, and the memo holds each distinct block exactly
+  // once, pool-wide.
+  const std::vector<cx::BasicBlock> blocks = test_blocks(12);
+  std::set<std::string> texts;
+  for (const auto& block : blocks) texts.insert(block.to_string());
+  const std::size_t distinct = texts.size();
+
+  std::vector<double> expected(blocks.size());
+  plain->predict_batch(blocks, expected);
+  std::vector<double> got(blocks.size());
+  sharded.predict_batch(blocks, got);
+  EXPECT_EQ(got, expected);
+
+  const std::vector<std::size_t> sizes_primed = sharded.memo_sizes();
+  std::size_t total_primed = 0;
+  for (const std::size_t n : sizes_primed) total_primed += n;
+  EXPECT_EQ(total_primed, distinct);
+
+  // Healthy fleet: one tick wire-pings every shard.
+  monitor.tick();
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(monitor.health(s), cs::ShardHealth::kHealthy);
+    EXPECT_EQ(clients[s]->counters().health_pings, 1u);
+  }
+
+  // Shard 1's host dies. failure_threshold = 2 consecutive failed pings
+  // open the circuit: on_dead fires exactly once and the pool re-shards
+  // the hash space over the survivors.
+  rigs[1]->kill();
+  monitor.tick();
+  EXPECT_EQ(monitor.health(1), cs::ShardHealth::kSuspect);
+  EXPECT_TRUE(died.empty());
+  monitor.tick();
+  EXPECT_EQ(monitor.health(1), cs::ShardHealth::kDead);
+  EXPECT_EQ(died, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(sharded.live_shards(), (std::vector<std::size_t>{0, 2}));
+
+  // The re-shard swept the survivors' memos down to what they now own;
+  // the dead shard's memo is untouched (nobody talks to it).
+  const std::vector<std::size_t> sizes_dead = sharded.memo_sizes();
+  EXPECT_EQ(sizes_dead[1], sizes_primed[1]);
+  EXPECT_LE(sizes_dead[0], sizes_primed[0]);
+  EXPECT_LE(sizes_dead[2], sizes_primed[2]);
+
+  // Degraded serving: the same batch re-routes to the survivors and is
+  // still bit-identical; the survivors re-memoize the moved keys.
+  std::fill(got.begin(), got.end(), 0.0);
+  sharded.predict_batch(blocks, got);
+  EXPECT_EQ(got, expected);
+  const std::vector<std::size_t> sizes_degraded = sharded.memo_sizes();
+  EXPECT_EQ(sizes_degraded[0] + sizes_degraded[2], distinct);
+  EXPECT_EQ(sizes_degraded[1], sizes_primed[1]);
+
+  // A whole explanation served mid-outage is bit-identical to the
+  // sequential in-process run.
+  const cc::CometOptions opt = light_options(404);
+  const cx::BasicBlock block = blocks.front();
+  const cc::Explanation sequential =
+      cc::CometExplainer(*plain, opt).explain(block);
+  const cc::Explanation degraded =
+      cc::CometExplainer(sharded, opt).explain(block);
+  expect_identical(degraded, sequential);
+
+  // Dead shards re-probe on a jittered exponential backoff, not every
+  // tick: at the same manual time the next probe is not yet due.
+  const std::uint64_t failures_at_death = monitor.counters().failures;
+  monitor.tick();
+  EXPECT_EQ(monitor.counters().failures, failures_at_death);
+  EXPECT_EQ(monitor.health(1), cs::ShardHealth::kDead);
+
+  clock.advance_ns(2'000);  // past the first jittered backoff
+  monitor.tick();           // still down: one more failure, no new death
+  EXPECT_EQ(monitor.counters().failures, failures_at_death + 1);
+  EXPECT_EQ(monitor.counters().deaths, 1u);
+  EXPECT_EQ(died.size(), 1u);
+
+  // The host comes back. The first successful probe enters half-open
+  // probation — the shard is NOT yet re-admitted to routing.
+  rigs[1]->revive();
+  clock.advance_ns(20'000);  // past the capped backoff, whatever the jitter
+  monitor.tick();
+  EXPECT_EQ(monitor.health(1), cs::ShardHealth::kProbation);
+  EXPECT_TRUE(readmitted.empty());
+  EXPECT_EQ(sharded.live_shards(), (std::vector<std::size_t>{0, 2}));
+
+  // readmit_probes = 2 consecutive successes re-admit it.
+  monitor.tick();
+  EXPECT_EQ(monitor.health(1), cs::ShardHealth::kHealthy);
+  EXPECT_EQ(readmitted, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(sharded.live_shards(), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(monitor.counters().deaths, 1u);
+  EXPECT_EQ(monitor.counters().readmissions, 1u);
+
+  // Re-admission restores the original hash assignment, so shard 1's
+  // memo (which only ever held keys it owns under the full routing)
+  // survives the readmit sweep intact.
+  const std::vector<std::size_t> sizes_readmitted = sharded.memo_sizes();
+  EXPECT_EQ(sizes_readmitted[1], sizes_primed[1]);
+
+  // Full-fleet serving after recovery: the old batch is bit-identical,
+  // and fresh traffic routes to the re-admitted shard again (its memo
+  // grows past what it held before the outage).
+  std::fill(got.begin(), got.end(), 0.0);
+  sharded.predict_batch(blocks, got);
+  EXPECT_EQ(got, expected);
+
+  cb::DatasetOptions fresh_opt;
+  fresh_opt.size = 12;
+  fresh_opt.seed = 1234;
+  const cb::Dataset fresh_dataset = cb::generate_dataset(fresh_opt);
+  std::vector<cx::BasicBlock> fresh;
+  for (const auto& labeled : fresh_dataset.blocks()) {
+    fresh.push_back(labeled.block);
+  }
+  std::vector<double> fresh_expected(fresh.size());
+  std::vector<double> fresh_got(fresh.size());
+  plain->predict_batch(fresh, fresh_expected);
+  sharded.predict_batch(fresh, fresh_got);
+  EXPECT_EQ(fresh_got, fresh_expected);
+  EXPECT_GT(sharded.memo_sizes()[1], sizes_readmitted[1]);
+
+  const cc::Explanation recovered =
+      cc::CometExplainer(sharded, opt).explain(block);
+  expect_identical(recovered, sequential);
+
+  // The outage left its trace in the probe accounting.
+  EXPECT_GE(clients[1]->counters().health_failures, 3u);
+}
+
+// ---------------- graceful degradation: the fallback chain ----------------
+
+TEST(FallbackChain, DegradesThroughTiersWithPerTierAccounting) {
+  const auto model = crude();
+  const auto blocks = test_blocks(6);
+  std::vector<double> expected(blocks.size());
+  model->predict_batch(std::span<const cx::BasicBlock>(blocks),
+                       std::span<double>(expected));
+
+  // Tier 0 is a remote shard whose host is permanently down; tier 1 is a
+  // "replica" built from the same model, so the degraded answer is
+  // bit-identical to the primary's by construction.
+  RevivableRig dead_rig(model);
+  dead_rig.kill();
+  cs::RemoteShardOptions copt;
+  copt.request_timeout_ns = kMustSucceedNs;
+  auto dead_remote = std::make_shared<const cs::RemoteShardClient>(
+      dead_rig.connector(), copt);
+  const cs::FallbackChain chain(
+      {{"remote", dead_remote}, {"replica", model}});
+  EXPECT_EQ(chain.name(), "fallback(remote->replica)");
+
+  std::vector<double> out(blocks.size());
+  chain.predict_batch(std::span<const cx::BasicBlock>(blocks),
+                      std::span<double>(out));
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out[i]),
+              std::bit_cast<std::uint64_t>(expected[i]))
+        << "block " << i;
+  }
+  auto tiers = chain.tier_counters();
+  ASSERT_EQ(tiers.size(), 2u);
+  EXPECT_EQ(tiers[0].label, "remote");
+  EXPECT_EQ(tiers[0].attempts, 1u);
+  EXPECT_EQ(tiers[0].successes, 0u);
+  EXPECT_EQ(tiers[0].errors, 1u);
+  EXPECT_EQ(tiers[1].label, "replica");
+  EXPECT_EQ(tiers[1].attempts, 1u);
+  EXPECT_EQ(tiers[1].successes, 1u);
+  EXPECT_EQ(tiers[1].errors, 0u);
+
+  // A healthy preferred tier answers and lower tiers are never touched.
+  ServerRig live_rig(model);
+  auto live_remote = std::make_shared<const cs::RemoteShardClient>(
+      live_rig.connector(), copt);
+  const cs::FallbackChain healthy(
+      {{"remote", live_remote}, {"replica", model}});
+  EXPECT_DOUBLE_EQ(healthy.predict(blocks[0]), expected[0]);
+  tiers = healthy.tier_counters();
+  EXPECT_EQ(tiers[0].successes, 1u);
+  EXPECT_EQ(tiers[1].attempts, 0u);
+
+  // If the LAST tier fails there is nothing left to degrade to: the
+  // error propagates.
+  const cs::FallbackChain exhausted({{"remote", dead_remote}});
+  EXPECT_THROW(exhausted.predict(blocks[0]), cn::TransportError);
+}
+
+TEST(FallbackChain, CancellationIsObeyedNeverFailedOver) {
+  const auto model = crude();
+  ServerRig rig(model);
+  cs::RemoteShardOptions copt;
+  copt.request_timeout_ns = kMustSucceedNs;
+  auto remote = std::make_shared<cs::RemoteShardClient>(rig.connector(),
+                                                        copt);
+  const cs::FallbackChain chain({{"remote", remote}, {"replica", model}});
+
+  // A cancelled client throws CancelledError; the chain rethrows instead
+  // of consulting the replica (the caller asked to stop — obeying is not
+  // a failure).
+  remote->cancel();
+  EXPECT_THROW(chain.predict(test_blocks(1)[0]), cn::CancelledError);
+  const auto tiers = chain.tier_counters();
+  EXPECT_EQ(tiers[0].successes, 0u);
+  EXPECT_EQ(tiers[1].attempts, 0u);
 }

@@ -1,0 +1,497 @@
+// Tests for the serving-layer traffic controls (PR 10): per-request
+// deadlines with typed expiry at admission, in queue, and after a late
+// run; the two-lane admission queue (interactive-first dequeue with the
+// batch anti-starvation credit); watermark load shedding with per-lane
+// accounting; and the determinism contract — none of the scheduling
+// machinery changes the bits of an explanation that completes.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/comet.h"
+#include "cost/crude_model.h"
+#include "obs/clock.h"
+#include "serve/isa_servers.h"
+#include "serve/shed_policy.h"
+#include "x86/parser.h"
+
+namespace cc = comet::core;
+namespace ck = comet::cost;
+namespace co = comet::obs;
+namespace cs = comet::serve;
+namespace cx = comet::x86;
+
+namespace {
+
+cc::CometOptions light_options(std::uint64_t seed) {
+  cc::CometOptions opt;
+  opt.epsilon = 0.25;
+  opt.coverage_samples = 150;
+  opt.max_pulls_per_level = 40;
+  opt.batch_size = 8;
+  opt.final_precision_samples = 60;
+  opt.seed = seed;
+  return opt;
+}
+
+cx::BasicBlock small_block() {
+  return cx::parse_block(R"(
+    mov rax, 5
+    div rcx
+    add rsi, rdi
+  )");
+}
+
+// Blocks every query until the test opens the gate; pins the server's
+// single worker so queue contents are under test control.
+class GateModel final : public ck::CostModel {
+ public:
+  double predict(const cx::BasicBlock&) const override {
+    wait_open();
+    return 1.0;
+  }
+  void predict_batch(std::span<const cx::BasicBlock> blocks,
+                     std::span<double> out) const override {
+    wait_open();
+    for (std::size_t i = 0; i < blocks.size(); ++i) out[i] = 1.0;
+  }
+  std::string name() const override { return "gate"; }
+
+  void open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void await_entered() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return entered_; });
+  }
+
+ private:
+  void wait_open() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entered_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  mutable bool entered_ = false;
+  bool open_ = false;
+};
+
+// Moves the manual clock forward on every query, so a run provably takes
+// (virtual) time and a run-stage deadline can expire mid-explanation.
+// Predictions delegate to a real model: advancing a clock must never
+// change the bits.
+class ClockAdvancingModel final : public ck::CostModel {
+ public:
+  ClockAdvancingModel(std::shared_ptr<const ck::CostModel> inner,
+                      co::ManualClock& clock, std::uint64_t step_ns)
+      : inner_(std::move(inner)), clock_(clock), step_ns_(step_ns) {}
+
+  double predict(const cx::BasicBlock& block) const override {
+    clock_.advance_ns(step_ns_);
+    return inner_->predict(block);
+  }
+  void predict_batch(std::span<const cx::BasicBlock> blocks,
+                     std::span<double> out) const override {
+    clock_.advance_ns(step_ns_);
+    inner_->predict_batch(blocks, out);
+  }
+  std::string name() const override { return "clock-advancing"; }
+
+ private:
+  std::shared_ptr<const ck::CostModel> inner_;
+  co::ManualClock& clock_;
+  std::uint64_t step_ns_;
+};
+
+void expect_identical(const cc::Explanation& a, const cc::Explanation& b) {
+  EXPECT_EQ(a.features, b.features)
+      << a.features.to_string() << " vs " << b.features.to_string();
+  EXPECT_DOUBLE_EQ(a.precision, b.precision);
+  EXPECT_DOUBLE_EQ(a.coverage, b.coverage);
+  EXPECT_EQ(a.met_threshold, b.met_threshold);
+  EXPECT_EQ(a.model_queries, b.model_queries);
+}
+
+std::uint64_t counter_value(const cs::X86ExplanationServer& server,
+                            const std::string& name) {
+  for (const auto& [key, value] : server.metrics().snapshot().counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+}  // namespace
+
+// ---------------- the watermark policy in isolation ----------------
+
+TEST(WatermarkShedPolicy, TwoWatermarksAndInfeasibilityShedding) {
+  cs::WatermarkShedPolicy policy(
+      {.batch_watermark = 0.5, .saturation_watermark = 0.875,
+       .min_slack_ns = 1000});
+  cs::ShedContext context;
+  context.queue_capacity = 8;
+
+  // Below every watermark: nobody is shed.
+  context.queue_depth = 3;
+  context.lane = cs::Lane::kBatch;
+  EXPECT_FALSE(policy.should_shed(context));
+
+  // Above the batch watermark: batch is shed, interactive is not.
+  context.queue_depth = 4;
+  EXPECT_TRUE(policy.should_shed(context));
+  context.lane = cs::Lane::kInteractive;
+  EXPECT_FALSE(policy.should_shed(context));
+
+  // At saturation: deadline-infeasible work is shed from either lane;
+  // feasible (or deadline-free) interactive work never is.
+  context.queue_depth = 7;
+  context.has_deadline = true;
+  context.deadline_slack_ns = 500;  // < min_slack_ns
+  EXPECT_TRUE(policy.should_shed(context));
+  context.deadline_slack_ns = 5000;
+  EXPECT_FALSE(policy.should_shed(context));
+  context.has_deadline = false;
+  EXPECT_FALSE(policy.should_shed(context));
+
+  // min_slack_ns = 0 disables infeasibility shedding entirely.
+  cs::WatermarkShedPolicy no_slack(
+      {.batch_watermark = 0.5, .saturation_watermark = 0.875,
+       .min_slack_ns = 0});
+  context.has_deadline = true;
+  context.deadline_slack_ns = 1;
+  EXPECT_FALSE(no_slack.should_shed(context));
+}
+
+// ---------------- deadline expiry at every stage ----------------
+
+TEST(Deadlines, ExpiredAtAdmitIsATypedRefusalNotASilentDrop) {
+  co::ManualClock clock(100);
+  cs::X86ExplanationServer server(
+      {.workers = 1, .queue_capacity = 4, .clock = &clock});
+  server.register_model(
+      "crude", std::make_shared<const ck::CrudeModel>(ck::MicroArch::Haswell));
+
+  // Already past its deadline: a ticket is still issued and the refusal
+  // arrives through the ordinary completion stream.
+  const auto ticket =
+      server.submit("crude", small_block(), light_options(1),
+                    {.lane = cs::Lane::kInteractive, .deadline_ns = 50});
+  EXPECT_GT(ticket, 0u);
+
+  // try_submit agrees: an expired request is "accepted" (true, ticket)
+  // because its typed result is already on the stream.
+  std::uint64_t try_ticket = 0;
+  EXPECT_TRUE(server.try_submit("crude", small_block(), light_options(2),
+                                &try_ticket,
+                                {.lane = cs::Lane::kBatch, .deadline_ns = 99}));
+  EXPECT_GT(try_ticket, 0u);
+
+  const auto results = server.drain();
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& served : results) {
+    EXPECT_EQ(served.status, cs::ServeStatus::kDeadlineExceededAtAdmit);
+    EXPECT_FALSE(cs::has_explanation(served.status));
+    EXPECT_EQ(served.lane, served.id == ticket ? cs::Lane::kInteractive
+                                               : cs::Lane::kBatch);
+  }
+  EXPECT_EQ(counter_value(server, "serve_deadline_expired{stage=\"admit\"}"),
+            2u);
+  EXPECT_EQ(server.outstanding(), 0u);
+}
+
+TEST(Deadlines, ExpiryInQueueNeverRunsTheEngine) {
+  co::ManualClock clock;
+  auto gate = std::make_shared<GateModel>();
+  cs::X86ExplanationServer server(
+      {.workers = 1, .queue_capacity = 8, .clock = &clock});
+  server.register_model("gate", gate);
+
+  // Pin the single worker, then queue a job whose deadline passes while
+  // it waits.
+  const auto pin = server.submit("gate", small_block(), light_options(1));
+  gate->await_entered();
+  const auto doomed =
+      server.submit("gate", small_block(), light_options(2),
+                    {.lane = cs::Lane::kInteractive, .deadline_ns = 1000});
+  clock.advance_ns(2000);
+  gate->open();
+
+  const auto results = server.drain();
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& served : results) {
+    if (served.id == pin) {
+      EXPECT_EQ(served.status, cs::ServeStatus::kOk);
+      EXPECT_GT(served.explanation.model_queries, 0u);
+    } else {
+      EXPECT_EQ(served.id, doomed);
+      EXPECT_EQ(served.status, cs::ServeStatus::kDeadlineExceededInQueue);
+      EXPECT_FALSE(cs::has_explanation(served.status));
+      // The engine never ran: no model queries, no ledger contribution.
+      EXPECT_EQ(served.explanation.model_queries, 0u);
+    }
+  }
+  EXPECT_EQ(counter_value(server, "serve_deadline_expired{stage=\"queue\"}"),
+            1u);
+}
+
+TEST(Deadlines, LateRunIsDeliveredBitIdenticalAndLabelled) {
+  co::ManualClock clock;
+  auto crude = std::make_shared<const ck::CrudeModel>(ck::MicroArch::Haswell);
+  auto slow = std::make_shared<const ClockAdvancingModel>(crude, clock,
+                                                          /*step_ns=*/500);
+  const auto options = light_options(9);
+  const auto block = small_block();
+  // Sequential ground truth over the same underlying predictions.
+  const auto expected = cc::CometExplainer(*crude, options).explain(block);
+
+  cs::X86ExplanationServer server(
+      {.workers = 1, .queue_capacity = 4, .clock = &clock});
+  server.register_model("slow", slow);
+  server.submit("slow", block, options,
+                {.lane = cs::Lane::kInteractive, .deadline_ns = 1});
+
+  const auto results = server.drain();
+  ASSERT_EQ(results.size(), 1u);
+  // The run outlived its deadline, so it is labelled late — but the
+  // explanation completed and its bits match the sequential path exactly.
+  EXPECT_EQ(results[0].status, cs::ServeStatus::kLate);
+  EXPECT_TRUE(cs::has_explanation(results[0].status));
+  expect_identical(results[0].explanation, expected);
+  EXPECT_EQ(counter_value(server, "serve_deadline_late"), 1u);
+}
+
+// ---------------- lanes: ordering and anti-starvation ----------------
+
+TEST(Lanes, InteractiveFirstWithBatchAntiStarvationCredit) {
+  auto gate = std::make_shared<GateModel>();
+  cs::X86ExplanationServer server({.workers = 1, .queue_capacity = 16,
+                                   .batch_credit_every = 3});
+  server.register_model("gate", gate);
+
+  // Pin the worker, then fill both lanes while nothing can be dequeued.
+  const auto pin = server.submit("gate", small_block(), light_options(1));
+  gate->await_entered();
+  std::vector<std::uint64_t> interactive;
+  std::vector<std::uint64_t> batch;
+  for (int i = 0; i < 4; ++i) {
+    interactive.push_back(server.submit("gate", small_block(),
+                                        light_options(10 + i),
+                                        {.lane = cs::Lane::kInteractive}));
+    batch.push_back(server.submit("gate", small_block(),
+                                  light_options(20 + i),
+                                  {.lane = cs::Lane::kBatch}));
+  }
+  gate->open();
+
+  // Single worker => completion order == dequeue order. With
+  // batch_credit_every = 3 and both lanes waiting, every third dequeue is
+  // batch; once the interactive lane empties, batch drains in order.
+  const auto results = server.drain();
+  ASSERT_EQ(results.size(), 9u);
+  EXPECT_EQ(results[0].id, pin);
+  const std::vector<std::uint64_t> expected_order = {
+      interactive[0], interactive[1], batch[0],
+      interactive[2], interactive[3], batch[1], batch[2], batch[3]};
+  for (std::size_t i = 0; i < expected_order.size(); ++i) {
+    EXPECT_EQ(results[i + 1].id, expected_order[i]) << "position " << i;
+  }
+  for (const auto& served : results) {
+    EXPECT_EQ(served.status, cs::ServeStatus::kOk);
+  }
+}
+
+// ---------------- load shedding with per-lane accounting ----------------
+
+TEST(Shedding, WatermarkPolicyShedsBatchFirstAndCountsPerLane) {
+  co::ManualClock clock;
+  auto gate = std::make_shared<GateModel>();
+  cs::ServeOptions options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  options.clock = &clock;
+  options.shed_policy = std::make_shared<const cs::WatermarkShedPolicy>(
+      cs::WatermarkShedPolicy::Options{.batch_watermark = 0.5,
+                                       .saturation_watermark = 0.875,
+                                       .min_slack_ns = 1000});
+  cs::X86ExplanationServer server(options);
+  server.register_model("gate", gate);
+
+  server.submit("gate", small_block(), light_options(1));
+  gate->await_entered();
+
+  // Four interactive jobs fill half the queue (shedding never fires below
+  // the batch watermark)...
+  for (int i = 0; i < 4; ++i) {
+    server.submit("gate", small_block(), light_options(10 + i),
+                  {.lane = cs::Lane::kInteractive});
+  }
+  // ...so the next batch job is shed, with a ticket and a typed result.
+  std::uint64_t shed_ticket = 0;
+  ASSERT_TRUE(server.try_submit("gate", small_block(), light_options(30),
+                                &shed_ticket, {.lane = cs::Lane::kBatch}));
+  EXPECT_GT(shed_ticket, 0u);
+  EXPECT_EQ(counter_value(server, "serve_shed{lane=\"batch\"}"), 1u);
+
+  // Interactive traffic is untouched until saturation...
+  for (int i = 0; i < 3; ++i) {
+    server.submit("gate", small_block(), light_options(40 + i),
+                  {.lane = cs::Lane::kInteractive});
+  }
+  // ...where deadline-infeasible interactive work (500ns slack < 1000ns
+  // minimum) is shed too: it would only expire in the queue.
+  ASSERT_TRUE(server.try_submit(
+      "gate", small_block(), light_options(50), nullptr,
+      {.lane = cs::Lane::kInteractive, .deadline_ns = clock.now_ns() + 500}));
+  EXPECT_EQ(counter_value(server, "serve_shed{lane=\"interactive\"}"), 1u);
+
+  // Deadline-free interactive work still falls through to ordinary
+  // bounded-queue backpressure: admitted while a slot remains...
+  EXPECT_TRUE(server.try_submit("gate", small_block(), light_options(60),
+                                nullptr, {.lane = cs::Lane::kInteractive}));
+  // ...then refused (false, no typed result) when the queue is full.
+  EXPECT_FALSE(server.try_submit("gate", small_block(), light_options(61),
+                                 nullptr, {.lane = cs::Lane::kInteractive}));
+
+  gate->open();
+  const auto results = server.drain();
+  // 1 pin + 4 + 3 + 1 ran; 2 shed refusals rode the same stream.
+  ASSERT_EQ(results.size(), 11u);
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  for (const auto& served : results) {
+    if (served.status == cs::ServeStatus::kOk) ++ok;
+    if (served.status == cs::ServeStatus::kShed) {
+      ++shed;
+      EXPECT_FALSE(cs::has_explanation(served.status));
+    }
+  }
+  EXPECT_EQ(ok, 9u);
+  EXPECT_EQ(shed, 2u);
+  EXPECT_EQ(counter_value(server, "serve_try_submit_rejected"), 1u);
+}
+
+// ---------------- determinism under full traffic controls ----------------
+
+TEST(TrafficControls, CompletedExplanationsBitIdenticalToSequential) {
+  auto crude = std::make_shared<const ck::CrudeModel>(ck::MicroArch::Haswell);
+  const auto block = small_block();
+
+  std::vector<cc::CometOptions> job_options;
+  std::vector<cc::Explanation> expected;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    job_options.push_back(light_options(100 + seed));
+    expected.push_back(
+        cc::CometExplainer(*crude, job_options.back()).explain(block));
+  }
+
+  // Deadlines, lanes, and a live shed policy all engaged — but generous
+  // enough that every job runs. The scheduling machinery must not perturb
+  // a single bit.
+  cs::ServeOptions options;
+  options.workers = 4;
+  options.queue_capacity = 16;
+  options.shed_policy = std::make_shared<const cs::WatermarkShedPolicy>();
+  cs::X86ExplanationServer server(options);
+  server.register_model("crude", crude);
+
+  std::vector<std::uint64_t> tickets;
+  for (std::size_t i = 0; i < job_options.size(); ++i) {
+    cs::RequestOptions request;
+    request.lane = i % 2 == 0 ? cs::Lane::kInteractive : cs::Lane::kBatch;
+    request.deadline_ns =
+        co::steady_clock().now_ns() + 60ull * 1'000'000'000;  // one minute
+    tickets.push_back(
+        server.submit("crude", block, job_options[i], request));
+  }
+  const auto results = server.drain();
+  ASSERT_EQ(results.size(), job_options.size());
+  for (const auto& served : results) {
+    std::size_t idx = tickets.size();
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      if (tickets[i] == served.id) idx = i;
+    }
+    ASSERT_LT(idx, tickets.size());
+    EXPECT_TRUE(cs::has_explanation(served.status));
+    expect_identical(served.explanation, expected[idx]);
+  }
+}
+
+// Chaos mode (scripts/check.sh --chaos) only: re-run the full-stack
+// scenario COMET_CHAOS_SEEDS times with a tight queue and fewer workers
+// than jobs, so admission backpressure and dequeue interleaving — not
+// the inputs — vary between rounds. Parity must hold in every round.
+TEST(TrafficControls, ChaosRoundsKeepBitParityUnderTightQueues) {
+  const char* env = std::getenv("COMET_CHAOS_SEEDS");
+  if (env == nullptr) {
+    GTEST_SKIP() << "set COMET_CHAOS_SEEDS to run the chaos rounds";
+  }
+  const std::size_t rounds =
+      static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+
+  auto crude = std::make_shared<const ck::CrudeModel>(ck::MicroArch::Haswell);
+  const auto block = small_block();
+  constexpr std::size_t kJobs = 8;
+  std::vector<cc::CometOptions> job_options;
+  std::vector<cc::Explanation> expected;
+  for (std::uint64_t seed = 0; seed < kJobs; ++seed) {
+    job_options.push_back(light_options(500 + seed));
+    expected.push_back(
+        cc::CometExplainer(*crude, job_options.back()).explain(block));
+  }
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    cs::ServeOptions options;
+    options.workers = 3;
+    options.queue_capacity = 4;  // blocking submits exercise backpressure
+    options.batch_credit_every = 2 + round % 3;
+    options.shed_policy = std::make_shared<const cs::WatermarkShedPolicy>();
+    cs::X86ExplanationServer server(options);
+    server.register_model("crude", crude);
+
+    std::vector<std::uint64_t> tickets;
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      cs::RequestOptions request;
+      request.lane = i % 2 == 0 ? cs::Lane::kInteractive : cs::Lane::kBatch;
+      request.deadline_ns =
+          co::steady_clock().now_ns() + 60ull * 1'000'000'000;
+      tickets.push_back(
+          server.submit("crude", block, job_options[i], request));
+    }
+    const auto results = server.drain();
+    ASSERT_EQ(results.size(), kJobs);
+    std::size_t completed = 0;
+    for (const auto& served : results) {
+      std::size_t idx = tickets.size();
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        if (tickets[i] == served.id) idx = i;
+      }
+      ASSERT_LT(idx, tickets.size());
+      // The tight queue may shed batch work — a typed refusal, never a
+      // silent drop — but whatever completes must be bit-identical.
+      if (cs::has_explanation(served.status)) {
+        ++completed;
+        expect_identical(served.explanation, expected[idx]);
+      } else {
+        EXPECT_EQ(served.status, cs::ServeStatus::kShed)
+            << "round " << round;
+        EXPECT_EQ(served.lane, cs::Lane::kBatch) << "round " << round;
+      }
+    }
+    // Interactive work is never shed by the watermark policy, so at
+    // least half of every round completes.
+    EXPECT_GE(completed, kJobs / 2) << "round " << round;
+  }
+}
